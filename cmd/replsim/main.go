@@ -1,0 +1,82 @@
+// Command replsim runs the paper-reproduction experiments in the
+// deterministic simulator and prints their tables.
+//
+// Usage:
+//
+//	replsim -list
+//	replsim -exp E1,E7 [-seed 42] [-scale 1] [-markdown]
+//	replsim -all
+//	replsim -scenario -masters 3 -slaves 4 -clients 8 -liars 2 -duration 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		expList  = flag.String("exp", "", "comma-separated experiment ids (e.g. E1,E7)")
+		all      = flag.Bool("all", false, "run every experiment")
+		scenario = flag.Bool("scenario", false, "run a free-form scenario from the scenario flags")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		scale    = flag.Int("scale", 1, "divide experiment sizes by this factor (1 = full)")
+		markdown = flag.Bool("markdown", false, "emit tables as markdown")
+	)
+	scFlags := registerScenarioFlags()
+	flag.Parse()
+
+	if *scenario {
+		runScenario(*seed, scFlags)
+		return
+	}
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Registry() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range harness.Registry() {
+			ids = append(ids, e.ID)
+		}
+	case *expList != "":
+		for _, id := range strings.Split(*expList, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		e, err := harness.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s\n", e.ID, e.Claim)
+		start := time.Now()
+		tables := e.Run(*seed, harness.Scale(*scale))
+		for _, t := range tables {
+			fmt.Println()
+			if *markdown {
+				fmt.Print(t.Markdown())
+			} else {
+				fmt.Print(t.String())
+			}
+		}
+		fmt.Printf("\n   (%s in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// scenarioFlags configures the free-form scenario mode (-scenario): a
+// custom deployment driven by a mixed workload, with the end-of-run stats
+// printed as tables. It is the "kick the tires" mode — the E-experiments
+// are the calibrated ones.
+type scenarioFlags struct {
+	masters    *int
+	slaves     *int
+	clients    *int
+	liars      *int
+	lieProb    *float64
+	checkProb  *float64
+	maxLatency *time.Duration
+	duration   *time.Duration
+	readRate   *float64
+	writeEvery *int
+}
+
+func registerScenarioFlags() scenarioFlags {
+	return scenarioFlags{
+		masters:    flag.Int("masters", 2, "scenario: number of masters"),
+		slaves:     flag.Int("slaves", 2, "scenario: slaves per master"),
+		clients:    flag.Int("clients", 4, "scenario: number of clients"),
+		liars:      flag.Int("liars", 0, "scenario: number of lying slaves"),
+		lieProb:    flag.Float64("lieprob", 1.0, "scenario: per-answer lie probability of liars"),
+		checkProb:  flag.Float64("checkprob", 0.05, "scenario: client double-check probability"),
+		maxLatency: flag.Duration("maxlatency", 2*time.Second, "scenario: max_latency"),
+		duration:   flag.Duration("duration", time.Minute, "scenario: virtual run time"),
+		readRate:   flag.Float64("readrate", 5, "scenario: reads/s per client"),
+		writeEvery: flag.Int("writeevery", 50, "scenario: one write per this many reads (0 = none)"),
+	}
+}
+
+func runScenario(seed int64, f scenarioFlags) {
+	cfg := harness.DefaultScenario()
+	cfg.Seed = seed
+	cfg.NMasters = *f.masters
+	cfg.SlavesPerMaster = *f.slaves
+	cfg.Params.DoubleCheckP = *f.checkProb
+	cfg.Params.MaxLatency = *f.maxLatency
+	cfg.SlaveBehaviors = map[int]core.Behavior{}
+	for i := 0; i < *f.liars && i < *f.masters**f.slaves; i++ {
+		cfg.SlaveBehaviors[i] = core.LieWithProb{P: *f.lieProb}
+	}
+	sc := harness.NewScenario(cfg)
+	clients := make([]*core.Client, *f.clients)
+	for i := range clients {
+		clients[i] = sc.AddClient(nil)
+	}
+	for i, cl := range clients {
+		cl := cl
+		i := i
+		sc.S.Go(func() {
+			sc.S.Sleep(sc.Warmup())
+			if err := cl.Setup(); err != nil {
+				return
+			}
+			rng := rand.New(rand.NewSource(seed + int64(i)*101))
+			gen := workload.NewGen(rng, workload.DefaultMix(), cfg.CatalogSize, cfg.DocCount)
+			arr := workload.Poisson{Rate: *f.readRate, Rng: rng}
+			end := sc.S.Now().Add(*f.duration)
+			n := 0
+			for sc.S.Now().Before(end) {
+				if sc.S.Sleep(arr.NextGap(0)) != nil {
+					return
+				}
+				n++
+				if *f.writeEvery > 0 && n%*f.writeEvery == 0 {
+					cl.Write(gen.NextWrite(n))
+					continue
+				}
+				cl.Read(gen.Next())
+			}
+		})
+	}
+	sc.S.GoAfter(*f.duration+10*time.Second, func() { sc.S.Stop() })
+	start := time.Now()
+	sc.Run(*f.duration + time.Minute)
+
+	cs := sc.TotalClientStats()
+	ms := sc.TotalMasterStats()
+	ss := sc.TotalSlaveStats()
+	as := sc.Auditor.Stats()
+
+	t := metrics.NewTable(
+		fmt.Sprintf("scenario: %dm x %ds/m, %d clients, %d liars (q=%.2f), p=%.2f, max_latency=%v, %v virtual",
+			cfg.NMasters, cfg.SlavesPerMaster, *f.clients, *f.liars, *f.lieProb,
+			*f.checkProb, *f.maxLatency, *f.duration),
+		"metric", "value")
+	t.Add("reads accepted", cs.ReadsAccepted)
+	t.Add("lies accepted (ground truth)", cs.LiesAccepted)
+	t.Add("reads failed", cs.ReadsFailed)
+	t.Add("stale rejects", cs.StaleRejects)
+	t.Add("retries", cs.Retries)
+	t.Add("double-checks", cs.DoubleChecks)
+	t.Add("liars caught red-handed", cs.CaughtImmediate)
+	t.Add("writes committed", cs.WritesOK)
+	t.Add("write pacing waits", ms.WritePacingWaits)
+	t.Add("exclusions", ms.Exclusions)
+	t.Add("client reassignments", cs.Reassignments)
+	t.Add("slave reads served", ss.ReadsServed)
+	t.Add("slave reads refused (stale)", ss.ReadsRefused)
+	t.Add("pledges audited", as.PledgesAudited)
+	t.Add("audit mismatches", as.Mismatches)
+	t.Add("auditor max backlog", as.BacklogMax)
+	t.Add("auditor max version lag", as.VersionLagMax)
+	t.Add("master CPU busy", sc.MasterBusy())
+	t.Add("slave CPU busy", sc.SlaveBusy())
+	t.Add("wall time", time.Since(start).Round(time.Millisecond))
+	fmt.Print(t.String())
+}

@@ -1,0 +1,113 @@
+// CDN scenario: the paper's motivating deployment (§6) — a content
+// delivery network replicating a product catalogue, where one of the
+// outsourced slave servers has been compromised and returns inflated
+// prices.
+//
+// The example shows both discovery paths of §3.5:
+//
+//   - immediate discovery: a client double-check catches the slave
+//     red-handed, the master excludes it and reassigns the clients;
+//
+//   - delayed discovery: with double-checking off, a lie is accepted, but
+//     the forwarded pledge convicts the slave at the auditor.
+//
+//     go run ./examples/cdn
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/query"
+)
+
+func main() {
+	fmt.Println("== part 1: immediate discovery (double-check p = 1) ==")
+	immediate()
+	fmt.Println()
+	fmt.Println("== part 2: delayed discovery (double-check off, audit only) ==")
+	delayed()
+}
+
+func immediate() {
+	cfg := harness.DefaultScenario()
+	cfg.Seed = 7
+	cfg.NMasters = 2
+	cfg.SlavesPerMaster = 2
+	cfg.Params.DoubleCheckP = 1.0 // check everything for the demo
+	cfg.Params.GreedyMinBurst = 1 << 30
+	// slave-0 (assigned to our client's master) lies about every answer.
+	cfg.SlaveBehaviors = map[int]core.Behavior{0: core.AlwaysLie{}}
+
+	sc := harness.NewScenario(cfg)
+	shopper := sc.AddClient(func(cc *core.ClientConfig) { cc.PreferredMaster = 0 })
+
+	sc.S.Go(func() {
+		sc.S.Sleep(sc.Warmup())
+		if err := shopper.Setup(); err != nil {
+			log.Fatalf("setup: %v", err)
+		}
+		fmt.Printf("shopper assigned to %s (compromised)\n", shopper.SlaveAddr())
+		payload, err := shopper.Read(query.Get{Key: "catalog/00001"})
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		price, _, _ := query.GetResult(payload)
+		fmt.Printf("price of catalog/00001 = %q (correct despite the liar)\n", price)
+	})
+	sc.Run(time.Minute)
+
+	st := shopper.Stats()
+	fmt.Printf("caught red-handed: %d, reports filed: %d, reassigned to %s\n",
+		st.CaughtImmediate, st.ReportsFiled, shopper.SlaveAddr())
+	fmt.Printf("lies accepted by the shopper: %d\n", st.LiesAccepted)
+	fmt.Printf("directory lists the slave as excluded: %v\n",
+		sc.Dir.IsExcluded(sc.Owner.Public, sc.Slaves[0].PublicKey()))
+}
+
+func delayed() {
+	cfg := harness.DefaultScenario()
+	cfg.Seed = 8
+	cfg.NMasters = 2
+	cfg.SlavesPerMaster = 2
+	cfg.Params.DoubleCheckP = 0 // no spot checks: only the audit protects us
+	cfg.SlaveBehaviors = map[int]core.Behavior{0: core.AlwaysLie{}}
+
+	sc := harness.NewScenario(cfg)
+	shopper := sc.AddClient(func(cc *core.ClientConfig) { cc.PreferredMaster = 0 })
+
+	sc.S.Go(func() {
+		sc.S.Sleep(sc.Warmup())
+		if err := shopper.Setup(); err != nil {
+			log.Fatalf("setup: %v", err)
+		}
+		payload, err := shopper.Read(query.Get{Key: "catalog/00001"})
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		_, _, decodeErr := query.GetResult(payload)
+		fmt.Printf("shopper accepted a falsified answer (strict decode: %v) — and cannot tell yet\n", decodeErr)
+		// The forwarded pledge is now with the auditor; wait for the
+		// delayed discovery to run its course.
+		sc.S.Sleep(10 * time.Second)
+		// After the exclusion notice, the same read is honest.
+		payload, err = shopper.Read(query.Get{Key: "catalog/00001"})
+		if err != nil {
+			log.Fatalf("read after reassignment: %v", err)
+		}
+		price, _, _ := query.GetResult(payload)
+		fmt.Printf("after audit + reassignment the price reads %q\n", price)
+	})
+	sc.Run(2 * time.Minute)
+
+	st := shopper.Stats()
+	as := sc.Auditor.Stats()
+	fmt.Printf("lies accepted: %d (the cost of the optimistic fast path)\n", st.LiesAccepted)
+	fmt.Printf("audit mismatches: %d, reports sent: %d\n", as.Mismatches, as.ReportsSent)
+	fmt.Printf("shopper reassignments: %d; slave excluded: %v\n",
+		st.Reassignments, sc.Dir.IsExcluded(sc.Owner.Public, sc.Slaves[0].PublicKey()))
+	fmt.Println("the signed pledge is evidence usable against the hosting contract (§3.5)")
+}

@@ -1,0 +1,95 @@
+// Filesystem scenario: the paper's second motivating content type (§2) —
+// a replicated file system that must answer not only "read FileName" but
+// "grep Expression Path", with grep executed on untrusted slaves.
+//
+// A targeted-lie slave falsifies answers for a specific subset of
+// queries (say, greps touching one project) while answering everything
+// else honestly — the hardest case for spot checking. The example runs a
+// grep workload, shows the lie surfacing, and the k-slave variant (§4)
+// masking it entirely.
+//
+//	go run ./examples/filesystem
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+func main() {
+	cfg := harness.DefaultScenario()
+	cfg.Seed = 21
+	cfg.NMasters = 1
+	cfg.SlavesPerMaster = 3
+	cfg.Params.DoubleCheckP = 0.05
+	cfg.Params.GreedyMinBurst = 1 << 30
+	// slave-0 falsifies ~40% of the query space, deterministically.
+	cfg.SlaveBehaviors = map[int]core.Behavior{0: core.TargetedLie{TargetFrac: 0.4}}
+
+	sc := harness.NewScenario(cfg)
+	dev := sc.AddClient(func(cc *core.ClientConfig) { cc.PreferredMaster = 0 })
+	// A second client reads with k=2 slaves per query (§4 variant).
+	paranoid := sc.AddClient(func(cc *core.ClientConfig) {
+		cc.PreferredMaster = 0
+		cc.KSlaves = 2
+	})
+
+	sc.S.Go(func() {
+		sc.S.Sleep(sc.Warmup())
+		if err := dev.Setup(); err != nil {
+			log.Fatalf("setup: %v", err)
+		}
+		if err := paranoid.Setup(); err != nil {
+			log.Fatalf("setup: %v", err)
+		}
+
+		// Write a source file into the replicated file system.
+		if _, err := dev.Write(store.Put{
+			Key:   "docs/file100",
+			Value: []byte("package main\n// TODO fix race\nfunc main() {}\n"),
+		}); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		sc.S.Sleep(cfg.Params.MaxLatency + cfg.Params.KeepAliveEvery)
+
+		// grep Expression Path on the untrusted slave (§2).
+		payload, err := dev.Read(query.Grep{Pattern: "TODO", PathPrefix: "docs/"})
+		if err != nil {
+			log.Fatalf("grep: %v", err)
+		}
+		matches, _ := query.GrepResult(payload)
+		fmt.Printf("grep TODO docs/ -> %d matching line(s):\n", len(matches))
+		for _, m := range matches {
+			fmt.Printf("  %s:%d: %s\n", m.Path, m.Line, m.Text)
+		}
+
+		// Drive a mixed grep/read workload through both clients.
+		patterns := []string{"price", "status", "active", "doc0", "TODO"}
+		for i := 0; i < 120; i++ {
+			q := query.Grep{Pattern: patterns[i%len(patterns)], PathPrefix: "docs/"}
+			dev.Read(q)
+			paranoid.Read(q)
+			sc.S.Sleep(50 * time.Millisecond)
+		}
+		sc.S.Sleep(10 * time.Second) // let the audit finish
+	})
+	sc.Run(5 * time.Minute)
+
+	devSt := dev.Stats()
+	parSt := paranoid.Stats()
+	as := sc.Auditor.Stats()
+	fmt.Println()
+	fmt.Printf("single-slave client: %d accepted, %d lies slipped through before detection\n",
+		devSt.ReadsAccepted, devSt.LiesAccepted)
+	fmt.Printf("k=2 client:          %d accepted, %d lies accepted, %d disagreements caught\n",
+		parSt.ReadsAccepted, parSt.LiesAccepted, parSt.KMismatch)
+	fmt.Printf("audit: %d pledges, %d mismatches; liar excluded: %v\n",
+		as.PledgesReceived, as.Mismatches,
+		sc.Dir.IsExcluded(sc.Owner.Public, sc.Slaves[0].PublicKey()))
+}

@@ -1,0 +1,585 @@
+// Package broadcast implements the reliable, totally-ordered broadcast
+// protocol that the master set runs (§3 of the paper, which defers the
+// protocol itself to Kaashoek et al.'s sequencer design [8]).
+//
+// The design follows the cited protocol's architecture: one member — the
+// sequencer — assigns a global sequence number to every message and
+// replicates it to all members; members deliver messages strictly in
+// sequence order and fetch any gaps. The master set is trusted, so the
+// protocol tolerates only benign (crash) failures: when the sequencer
+// stops responding, the next member in the fixed priority order syncs the
+// log from every reachable member and takes over.
+//
+// Guarantees (under crash failures and a fair-lossless network):
+//
+//	Agreement   — every running member delivers the same messages.
+//	Total order — deliveries happen in one global sequence.
+//	Validity    — a Broadcast that returns nil was assigned a slot and
+//	              replicated to every member not suspected as crashed.
+package broadcast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Method names handled by Member.Handle. A node hosting a member must
+// route these to it.
+const (
+	MethodSubmit = "b.submit"
+	MethodCommit = "b.commit"
+	MethodFetch  = "b.fetch"
+	MethodStatus = "b.status"
+	MethodHello  = "b.hello"
+)
+
+// Errors.
+var (
+	ErrNoSequencer = errors.New("broadcast: no reachable sequencer")
+	ErrStopped     = errors.New("broadcast: member stopped")
+)
+
+// Config parametrizes a member.
+type Config struct {
+	// Self is this member's address; it must appear in Peers.
+	Self string
+	// Peers is the full member set in priority order (index 0 is the
+	// initial sequencer). All members must use the same order.
+	Peers []string
+	// Deliver is invoked for every message, in sequence order, from the
+	// member's internal delivery flow. It must not block for long.
+	Deliver func(seq uint64, msg []byte)
+	// CallTimeout bounds each RPC before the callee is suspected.
+	CallTimeout time.Duration
+	// HeartbeatEvery is the sequencer's heartbeat period.
+	HeartbeatEvery time.Duration
+	// TakeoverAfter is how long a member waits without hearing from the
+	// sequencer before starting a takeover.
+	TakeoverAfter time.Duration
+}
+
+func (c *Config) fill() {
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 500 * time.Millisecond
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 200 * time.Millisecond
+	}
+	if c.TakeoverAfter == 0 {
+		c.TakeoverAfter = 3 * c.HeartbeatEvery
+	}
+}
+
+// Member is one participant in the broadcast group.
+type Member struct {
+	cfg    Config
+	rt     sim.Runtime
+	dialer rpc.Dialer
+
+	mu        sync.Mutex
+	log       map[uint64][]byte
+	nextSeq   uint64 // sequencer: next slot to assign
+	delivered uint64 // highest contiguously delivered seq
+	view      int    // index into Peers of the current sequencer
+	suspected map[string]bool
+	lastHB    time.Time
+	stopped   bool
+
+	// deliveries counts messages handed to Deliver (stats/tests).
+	deliveries uint64
+}
+
+// New creates a member. Call Start to launch its background loops.
+func New(cfg Config, rt sim.Runtime, dialer rpc.Dialer) (*Member, error) {
+	cfg.fill()
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("broadcast: self %q not in peer list", cfg.Self)
+	}
+	if cfg.Deliver == nil {
+		return nil, errors.New("broadcast: Deliver callback is required")
+	}
+	return &Member{
+		cfg:       cfg,
+		rt:        rt,
+		dialer:    dialer,
+		log:       make(map[uint64][]byte),
+		delivered: 0,
+		nextSeq:   1,
+		suspected: make(map[string]bool),
+	}, nil
+}
+
+// Start launches the failure-detection and heartbeat loops.
+func (m *Member) Start() {
+	m.mu.Lock()
+	m.lastHB = m.rt.Now()
+	m.mu.Unlock()
+	m.rt.Spawn(m.heartbeatLoop)
+	m.rt.Spawn(m.monitorLoop)
+}
+
+// Stop halts the member's loops.
+func (m *Member) Stop() {
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+}
+
+// Delivered returns the highest contiguously delivered sequence number.
+func (m *Member) Delivered() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivered
+}
+
+// Sequencer returns the address this member currently believes is the
+// sequencer.
+func (m *Member) Sequencer() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Peers[m.view]
+}
+
+// SuspectedPeers returns the peers this member currently believes have
+// crashed. The hosting master uses it to drive slave-set redistribution.
+func (m *Member) SuspectedPeers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.suspected))
+	for _, p := range m.cfg.Peers {
+		if m.suspected[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Suspect marks a peer as crashed without waiting for a timeout; hosting
+// nodes call it when they observe a failure through another channel.
+func (m *Member) Suspect(peer string) {
+	if peer == m.cfg.Self {
+		return
+	}
+	m.mu.Lock()
+	cur := m.cfg.Peers[m.view]
+	m.mu.Unlock()
+	if cur == peer {
+		m.advanceView(peer)
+		return
+	}
+	m.mu.Lock()
+	m.suspected[peer] = true
+	m.mu.Unlock()
+}
+
+func (m *Member) selfIndex() int {
+	for i, p := range m.cfg.Peers {
+		if p == m.cfg.Self {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *Member) isSequencer() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Peers[m.view] == m.cfg.Self
+}
+
+// Broadcast submits msg for total ordering and blocks until the message
+// has been assigned a slot and replicated. It retries across sequencer
+// failures.
+func (m *Member) Broadcast(msg []byte) error {
+	for attempt := 0; attempt < len(m.cfg.Peers)+2; attempt++ {
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return ErrStopped
+		}
+		seqAddr := m.cfg.Peers[m.view]
+		m.mu.Unlock()
+
+		if seqAddr == m.cfg.Self {
+			return m.sequence(msg)
+		}
+		w := wire.NewWriter(len(msg) + 8)
+		w.Bytes_(msg)
+		_, err := m.dialer.CallTimeout(seqAddr, MethodSubmit, w.Bytes(), m.cfg.CallTimeout)
+		if err == nil {
+			return nil
+		}
+		if rpc.IsRemote(err) {
+			// The callee no longer believes it is the sequencer; refresh
+			// our view and retry.
+			m.advanceView(seqAddr)
+			continue
+		}
+		// Transport failure: suspect the sequencer and take over if we
+		// are next in line.
+		m.advanceView(seqAddr)
+	}
+	return ErrNoSequencer
+}
+
+// advanceView suspects the given sequencer and moves to the next
+// candidate; if that candidate is this member, it performs takeover.
+func (m *Member) advanceView(failed string) {
+	m.mu.Lock()
+	if m.cfg.Peers[m.view] != failed {
+		m.mu.Unlock()
+		return // someone already moved the view
+	}
+	m.suspected[failed] = true
+	next := m.view
+	for i := 0; i < len(m.cfg.Peers); i++ {
+		cand := (m.view + 1 + i) % len(m.cfg.Peers)
+		if !m.suspected[m.cfg.Peers[cand]] {
+			next = cand
+			break
+		}
+	}
+	m.view = next
+	self := m.cfg.Peers[next] == m.cfg.Self
+	m.mu.Unlock()
+	if self {
+		m.takeover()
+	}
+}
+
+// takeover makes this member the sequencer: it syncs the log from every
+// reachable member so that no committed message is lost, then resumes
+// assignment after the highest sequence number seen anywhere.
+func (m *Member) takeover() {
+	maxSeq := m.maxKnown()
+	for _, p := range m.cfg.Peers {
+		if p == m.cfg.Self {
+			continue
+		}
+		body, err := m.dialer.CallTimeout(p, MethodStatus, nil, m.cfg.CallTimeout)
+		if err != nil {
+			continue
+		}
+		r := wire.NewReader(body)
+		theirMax := r.Uvarint()
+		if r.Err() != nil {
+			continue
+		}
+		if theirMax > maxSeq {
+			maxSeq = theirMax
+		}
+		m.fetchRange(p, theirMax)
+	}
+	m.mu.Lock()
+	if m.nextSeq <= maxSeq {
+		m.nextSeq = maxSeq + 1
+	}
+	m.mu.Unlock()
+	m.tryDeliver()
+}
+
+func (m *Member) maxKnown() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	max := m.delivered
+	for s := range m.log {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// sequence assigns the next slot (this member is the sequencer) and
+// replicates to all non-suspected members.
+func (m *Member) sequence(msg []byte) error {
+	m.mu.Lock()
+	seq := m.nextSeq
+	m.nextSeq++
+	view := m.view
+	m.log[seq] = msg
+	peers := append([]string(nil), m.cfg.Peers...)
+	m.mu.Unlock()
+
+	w := wire.NewWriter(len(msg) + 16)
+	w.Uvarint(uint64(view))
+	w.Uvarint(seq)
+	w.Bytes_(msg)
+	frame := w.Bytes()
+
+	for _, p := range peers {
+		if p == m.cfg.Self {
+			continue
+		}
+		m.mu.Lock()
+		skip := m.suspected[p]
+		m.mu.Unlock()
+		if skip {
+			continue
+		}
+		// Retry a bounded number of times before suspecting the peer;
+		// it will recover missing entries by fetching when it returns.
+		var err error
+		for try := 0; try < 2; try++ {
+			_, err = m.dialer.CallTimeout(p, MethodCommit, frame, m.cfg.CallTimeout)
+			if err == nil || rpc.IsRemote(err) {
+				break
+			}
+		}
+		if err != nil && !rpc.IsRemote(err) {
+			m.mu.Lock()
+			m.suspected[p] = true
+			m.mu.Unlock()
+		}
+	}
+	m.tryDeliver()
+	return nil
+}
+
+// Handle routes broadcast RPCs; the hosting node must call it for the
+// Method* method names.
+func (m *Member) Handle(from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case MethodSubmit:
+		r := wire.NewReader(body)
+		msg := r.Bytes()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		if !m.isSequencer() {
+			return nil, fmt.Errorf("not sequencer; current view %s", m.Sequencer())
+		}
+		return nil, m.sequence(msg)
+
+	case MethodCommit:
+		r := wire.NewReader(body)
+		view := int(r.Uvarint())
+		seq := r.Uvarint()
+		msg := r.Bytes()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		m.acceptCommit(from, view, seq, msg)
+		return nil, nil
+
+	case MethodFetch:
+		r := wire.NewReader(body)
+		lo := r.Uvarint()
+		hi := r.Uvarint()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return m.serveFetch(lo, hi), nil
+
+	case MethodStatus:
+		w := wire.NewWriter(8)
+		w.Uvarint(m.maxKnown())
+		return w.Bytes(), nil
+
+	case MethodHello:
+		r := wire.NewReader(body)
+		view := int(r.Uvarint())
+		maxSeq := r.Uvarint()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		m.acceptHello(from, view, maxSeq)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("broadcast: unknown method %q", method)
+}
+
+func (m *Member) acceptCommit(from string, view int, seq uint64, msg []byte) {
+	m.mu.Lock()
+	if view > m.view {
+		m.view = view
+		delete(m.suspected, m.cfg.Peers[view])
+	}
+	if view >= m.view {
+		m.lastHB = m.rt.Now()
+	}
+	if _, dup := m.log[seq]; !dup && seq > m.delivered {
+		m.log[seq] = msg
+	}
+	gap := m.delivered+1 < seq && m.missingBelow(seq)
+	m.mu.Unlock()
+	if gap {
+		m.fetchRange(from, seq)
+	}
+	m.tryDeliver()
+}
+
+func (m *Member) missingBelow(seq uint64) bool {
+	for s := m.delivered + 1; s < seq; s++ {
+		if _, ok := m.log[s]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Member) acceptHello(from string, view int, maxSeq uint64) {
+	m.mu.Lock()
+	if view >= m.view {
+		if view > m.view {
+			m.view = view
+		}
+		m.lastHB = m.rt.Now()
+		delete(m.suspected, from)
+	}
+	behind := m.delivered < maxSeq
+	m.mu.Unlock()
+	if behind {
+		m.fetchRange(from, maxSeq)
+		m.tryDeliver()
+	}
+}
+
+// fetchRange pulls any entries in (delivered, hi] that we are missing
+// from the given peer.
+func (m *Member) fetchRange(from string, hi uint64) {
+	m.mu.Lock()
+	lo := m.delivered + 1
+	m.mu.Unlock()
+	if lo > hi {
+		return
+	}
+	w := wire.NewWriter(16)
+	w.Uvarint(lo)
+	w.Uvarint(hi)
+	body, err := m.dialer.CallTimeout(from, MethodFetch, w.Bytes(), m.cfg.CallTimeout)
+	if err != nil {
+		return
+	}
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	m.mu.Lock()
+	for i := uint64(0); i < n; i++ {
+		seq := r.Uvarint()
+		msg := r.Bytes()
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := m.log[seq]; !dup && seq > m.delivered {
+			m.log[seq] = msg
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *Member) serveFetch(lo, hi uint64) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type entry struct {
+		seq uint64
+		msg []byte
+	}
+	var entries []entry
+	for s := lo; s <= hi; s++ {
+		if msg, ok := m.log[s]; ok {
+			entries = append(entries, entry{s, msg})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	w := wire.NewWriter(256)
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.Uvarint(e.seq)
+		w.Bytes_(e.msg)
+	}
+	return w.Bytes()
+}
+
+// tryDeliver hands contiguous log entries to the Deliver callback.
+func (m *Member) tryDeliver() {
+	for {
+		m.mu.Lock()
+		next := m.delivered + 1
+		msg, ok := m.log[next]
+		if !ok {
+			m.mu.Unlock()
+			return
+		}
+		m.delivered = next
+		m.deliveries++
+		delete(m.log, next) // delivered entries are retained by the app
+		// Keep a copy for serving fetches to lagging peers.
+		m.archive(next, msg)
+		m.mu.Unlock()
+		m.cfg.Deliver(next, msg)
+	}
+}
+
+// archive keeps delivered messages for gap recovery. Entries are kept in
+// the log map under their sequence number (re-inserted after delivery
+// bookkeeping); a production system would truncate after stability, which
+// experiments here do not need.
+func (m *Member) archive(seq uint64, msg []byte) {
+	m.log[seq] = msg
+}
+
+// heartbeatLoop makes the sequencer announce liveness and its log high
+// water mark; lagging members fetch what they miss.
+func (m *Member) heartbeatLoop() {
+	for {
+		m.mu.Lock()
+		stopped := m.stopped
+		isSeq := m.cfg.Peers[m.view] == m.cfg.Self
+		maxSeq := m.delivered
+		view := m.view
+		peers := append([]string(nil), m.cfg.Peers...)
+		m.mu.Unlock()
+		if stopped {
+			return
+		}
+		if isSeq {
+			w := wire.NewWriter(16)
+			w.Uvarint(uint64(view))
+			w.Uvarint(maxSeq)
+			frame := w.Bytes()
+			for _, p := range peers {
+				if p == m.cfg.Self {
+					continue
+				}
+				m.dialer.CallTimeout(p, MethodHello, frame, m.cfg.CallTimeout)
+			}
+		}
+		if m.rt.Sleep(m.cfg.HeartbeatEvery) != nil {
+			return
+		}
+	}
+}
+
+// monitorLoop watches for sequencer silence and triggers takeover.
+func (m *Member) monitorLoop() {
+	for {
+		if m.rt.Sleep(m.cfg.TakeoverAfter/2) != nil {
+			return
+		}
+		m.mu.Lock()
+		stopped := m.stopped
+		isSeq := m.cfg.Peers[m.view] == m.cfg.Self
+		silent := m.rt.Now().Sub(m.lastHB) >= m.cfg.TakeoverAfter
+		seqAddr := m.cfg.Peers[m.view]
+		m.mu.Unlock()
+		if stopped {
+			return
+		}
+		if !isSeq && silent {
+			m.advanceView(seqAddr)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/cryptoutil"
+	"repro/internal/query"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// AuditorStats counts the auditor's activity.
+type AuditorStats struct {
+	PledgesReceived uint64
+	PledgesAudited  uint64
+	PledgesSampled  uint64 // skipped by AuditSampleP sampling
+	PledgesLate     uint64 // arrived after the auditor left their version
+	PledgesBadSig   uint64
+	CacheHits       uint64
+	Mismatches      uint64 // lies detected
+	ReportsSent     uint64
+	VersionLagMax   uint64 // max (master version - auditor version) seen
+	BacklogMax      int    // max pending pledges seen
+}
+
+// AuditorConfig configures the auditor.
+type AuditorConfig struct {
+	Addr   string
+	Keys   *cryptoutil.KeyPair
+	Params Params
+	// Peers is the master-set broadcast membership; the auditor is a
+	// member (the paper elects it from the master set, §3) so it
+	// receives ordered writes directly, but it owns no slaves.
+	Peers []string
+	// MasterAddrs are the masters it reports misbehaviour to.
+	MasterAddrs []string
+	// CPU, if non-nil, charges modelled service times. The cost model is
+	// where the auditor's advantages live: it never signs, never sends
+	// results to clients, and caches repeated queries (§3.4).
+	CPU *sim.Resource
+	// Seed drives audit sampling.
+	Seed int64
+	// Tick is the audit worker's polling interval (0 = KeepAliveEvery).
+	Tick time.Duration
+}
+
+type bufferedWrite struct {
+	opBytes    []byte
+	receivedAt time.Time
+}
+
+// Auditor re-executes pledged reads against its own lagging replica and
+// reports any slave whose pledge does not match the trusted result
+// (§3.4). It applies write v+1 only after it has audited all reads for
+// version v and more than max_latency (plus slack) has passed since the
+// masters committed v+1, so no client can still accept a read for v.
+type Auditor struct {
+	cfg AuditorConfig
+	rt  sim.Runtime
+	dlr rpc.Dialer
+	rng *rand.Rand
+
+	bcast *broadcast.Member
+
+	mu       sync.Mutex
+	replica  *store.Store
+	writes   map[uint64]bufferedWrite // pending, by target version
+	pending  map[uint64][]Pledge      // pledges by content version
+	cache    map[string]cryptoutil.Digest
+	stats    AuditorStats
+	stopped  bool
+	masterV  uint64          // highest version committed by masters (observed)
+	detected map[string]bool // slave pubs already reported
+}
+
+// NewAuditor creates the auditor over the initial content replica.
+func NewAuditor(cfg AuditorConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.Store) (*Auditor, error) {
+	if cfg.Tick == 0 {
+		cfg.Tick = cfg.Params.KeepAliveEvery
+	}
+	a := &Auditor{
+		cfg:      cfg,
+		rt:       rt,
+		dlr:      dlr,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		replica:  initial.Clone(),
+		writes:   make(map[uint64]bufferedWrite),
+		pending:  make(map[uint64][]Pledge),
+		cache:    make(map[string]cryptoutil.Digest),
+		detected: make(map[string]bool),
+	}
+	// Ordered writes continue from the initial content version.
+	a.masterV = a.replica.Version()
+	bm, err := broadcast.New(broadcast.Config{
+		Self:           cfg.Addr,
+		Peers:          cfg.Peers,
+		Deliver:        a.deliver,
+		CallTimeout:    cfg.Params.KeepAliveEvery,
+		HeartbeatEvery: cfg.Params.KeepAliveEvery,
+		TakeoverAfter:  3 * cfg.Params.KeepAliveEvery,
+	}, rt, dlr)
+	if err != nil {
+		return nil, err
+	}
+	a.bcast = bm
+	return a, nil
+}
+
+// Start launches the broadcast member and the audit worker.
+func (a *Auditor) Start() {
+	a.bcast.Start()
+	a.rt.Spawn(a.auditLoop)
+}
+
+// Stop halts the auditor's loops.
+func (a *Auditor) Stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.mu.Unlock()
+	a.bcast.Stop()
+}
+
+// Stats returns a snapshot of the auditor's counters.
+func (a *Auditor) Stats() AuditorStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Version returns the auditor replica's (lagging) content version.
+func (a *Auditor) Version() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.replica.Version()
+}
+
+// Backlog returns the number of pledges waiting to be audited.
+func (a *Auditor) Backlog() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ps := range a.pending {
+		n += len(ps)
+	}
+	return n
+}
+
+// Addr returns the auditor's address.
+func (a *Auditor) Addr() string { return a.cfg.Addr }
+
+// PublicKey returns the auditor's public key.
+func (a *Auditor) PublicKey() cryptoutil.PublicKey { return a.cfg.Keys.Public }
+
+// Handle routes the auditor's RPC methods.
+func (a *Auditor) Handle(from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case broadcast.MethodSubmit, broadcast.MethodCommit, broadcast.MethodFetch,
+		broadcast.MethodStatus, broadcast.MethodHello:
+		return a.bcast.Handle(from, method, body)
+	case MethodPledge:
+		return a.handlePledge(body)
+	}
+	return nil, fmt.Errorf("core: auditor: unknown method %q", method)
+}
+
+// deliver receives the ordered master traffic; the auditor only buffers
+// writes (it "is allowed to lag behind when executing write requests",
+// §3.4) and ignores membership messages.
+func (a *Auditor) deliver(seq uint64, msg []byte) {
+	r := wire.NewReader(msg)
+	if r.Byte() != bcWrite {
+		return
+	}
+	_ = r.String() // write id, unused here
+	wr, err := DecodeWriteRequest(r)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.masterV++
+	a.writes[a.masterV] = bufferedWrite{opBytes: wr.OpBytes, receivedAt: a.rt.Now()}
+	if lag := a.masterV - a.replica.Version(); lag > a.stats.VersionLagMax {
+		a.stats.VersionLagMax = lag
+	}
+}
+
+func (a *Auditor) handlePledge(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	pledge, err := DecodePledge(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.PledgesReceived++
+	if a.cfg.Params.AuditSampleP < 1 && a.rng.Float64() >= a.cfg.Params.AuditSampleP {
+		a.stats.PledgesSampled++
+		return nil, nil
+	}
+	v := pledge.Stamp.Version
+	if v < a.replica.Version() {
+		// The auditor only leaves a version after max_latency has passed,
+		// at which point no client would accept this read anyway (§3.4).
+		a.stats.PledgesLate++
+		return nil, nil
+	}
+	a.pending[v] = append(a.pending[v], pledge)
+	if b := a.backlogLocked(); b > a.stats.BacklogMax {
+		a.stats.BacklogMax = b
+	}
+	return nil, nil
+}
+
+func (a *Auditor) backlogLocked() int {
+	n := 0
+	for _, ps := range a.pending {
+		n += len(ps)
+	}
+	return n
+}
+
+// auditLoop drains pledges for the current version and advances the
+// replica when the version's audit window has closed.
+func (a *Auditor) auditLoop() {
+	for {
+		a.mu.Lock()
+		stopped := a.stopped
+		cur := a.replica.Version()
+		batch := a.pending[cur]
+		delete(a.pending, cur)
+		a.mu.Unlock()
+		if stopped {
+			return
+		}
+
+		for _, p := range batch {
+			a.auditOne(p)
+		}
+
+		advanced := a.maybeAdvance()
+		if !advanced && len(batch) == 0 {
+			if a.rt.Sleep(a.cfg.Tick) != nil {
+				return
+			}
+		}
+	}
+}
+
+// auditOne verifies a single pledge against the trusted replica.
+func (a *Auditor) auditOne(p Pledge) {
+	// Verify the slave signature: an unsigned/forged pledge cannot frame
+	// anyone and carries no information.
+	chargeCPU(a.cfg.CPU, a.cfg.Params.Costs.VerifySig)
+	if err := p.VerifySig(); err != nil {
+		a.mu.Lock()
+		a.stats.PledgesBadSig++
+		a.mu.Unlock()
+		return
+	}
+
+	key := string(p.QueryBytes)
+	a.mu.Lock()
+	correct, hit := a.cache[key]
+	a.mu.Unlock()
+	if hit {
+		chargeCPU(a.cfg.CPU, a.cfg.Params.Costs.CacheLookup)
+		a.mu.Lock()
+		a.stats.CacheHits++
+		a.mu.Unlock()
+	} else {
+		q, err := query.Decode(p.QueryBytes)
+		if err != nil {
+			// A signed, undecodable query is itself proof of misbehaviour.
+			a.report(p)
+			return
+		}
+		a.mu.Lock()
+		res, err := q.Execute(a.replica)
+		a.mu.Unlock()
+		if err != nil {
+			a.report(p)
+			return
+		}
+		// The auditor hashes the result but — unlike a slave — signs
+		// nothing and sends no reply to any client (§3.4).
+		chargeCPU(a.cfg.CPU, a.cfg.Params.Costs.QueryCost(res.Scanned))
+		chargeCPU(a.cfg.CPU, a.cfg.Params.Costs.HashCost(len(res.Payload)))
+		correct = res.Digest()
+		a.mu.Lock()
+		a.cache[key] = correct
+		a.mu.Unlock()
+	}
+
+	a.mu.Lock()
+	a.stats.PledgesAudited++
+	mismatch := !correct.Equal(p.ResultHash)
+	if mismatch {
+		a.stats.Mismatches++
+	}
+	already := a.detected[string(p.SlavePub)]
+	a.mu.Unlock()
+	if mismatch && !already {
+		a.report(p)
+	}
+}
+
+// report forwards the incriminating pledge to a master (§3.5 delayed
+// discovery path), signed by the auditor so masters can trust it without
+// being at the pledge's (old) content version.
+func (a *Auditor) report(p Pledge) {
+	a.mu.Lock()
+	a.detected[string(p.SlavePub)] = true
+	a.stats.ReportsSent++
+	a.mu.Unlock()
+	pledgeBytes := EncodePledge(p)
+	chargeCPU(a.cfg.CPU, a.cfg.Params.Costs.Sign) // the one signature the auditor ever makes
+	sig := a.cfg.Keys.Sign(pledgeBytes)
+	w := wire.NewWriter(len(pledgeBytes) + 80)
+	w.Bytes_(pledgeBytes)
+	w.Bytes_(sig)
+	body := w.Bytes()
+	for _, m := range a.cfg.MasterAddrs {
+		if _, err := a.dlr.CallTimeout(m, MethodReport, body, a.cfg.Params.ReadTimeout); err == nil {
+			return
+		}
+	}
+}
+
+// maybeAdvance applies the next buffered write if its audit window has
+// closed: all pledges for the current version are drained and more than
+// max_latency + slack has elapsed since the masters committed the write.
+func (a *Auditor) maybeAdvance() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	next := a.replica.Version() + 1
+	w, ok := a.writes[next]
+	if !ok {
+		return false
+	}
+	if len(a.pending[a.replica.Version()]) > 0 {
+		return false
+	}
+	window := a.cfg.Params.MaxLatency + a.cfg.Params.AuditorSlack
+	if a.rt.Now().Sub(w.receivedAt) <= window {
+		return false
+	}
+	op, err := store.DecodeOp(w.opBytes)
+	if err != nil {
+		delete(a.writes, next)
+		return true
+	}
+	a.replica.ApplyAt(next, op)
+	delete(a.writes, next)
+	// Results change with the version: drop the query cache (§3.4 cache
+	// is per-version query optimization).
+	a.cache = make(map[string]cryptoutil.Digest)
+	return true
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/cryptoutil"
+)
+
+// Behavior models how a slave answers reads. Honest slaves return the
+// true result; malicious models corrupt it in ways a client cannot detect
+// locally (the pledge is consistent with the corrupted bytes — the lie
+// only shows against a trusted re-execution, which is exactly the
+// paper's threat model).
+type Behavior interface {
+	// Corrupt decides whether to falsify this answer. If it returns a
+	// non-nil slice, the slave serves those bytes instead of the true
+	// payload and pledges their hash.
+	Corrupt(queryBytes, truePayload []byte, rng *rand.Rand) []byte
+	// String names the behaviour for logs and tables.
+	String() string
+}
+
+// Honest always returns the true result.
+type Honest struct{}
+
+// Corrupt implements Behavior; it never corrupts.
+func (Honest) Corrupt(_, _ []byte, _ *rand.Rand) []byte { return nil }
+
+func (Honest) String() string { return "honest" }
+
+// AlwaysLie falsifies every answer.
+type AlwaysLie struct{}
+
+// Corrupt implements Behavior.
+func (AlwaysLie) Corrupt(_, truePayload []byte, _ *rand.Rand) []byte {
+	return flipPayload(truePayload)
+}
+
+func (AlwaysLie) String() string { return "always-lie" }
+
+// LieWithProb falsifies each answer independently with probability P
+// (§3.3/§3.4's "byzantine failures ... are rare" regime).
+type LieWithProb struct {
+	P float64
+}
+
+// Corrupt implements Behavior.
+func (l LieWithProb) Corrupt(_, truePayload []byte, rng *rand.Rand) []byte {
+	if rng.Float64() < l.P {
+		return flipPayload(truePayload)
+	}
+	return nil
+}
+
+func (l LieWithProb) String() string { return "lie-with-prob" }
+
+// TargetedLie falsifies only answers to queries whose encoded bytes hash
+// into the target set — modelling a slave that lies about specific
+// records (e.g. one product's price) while answering everything else
+// honestly, the hardest case for spot-checking.
+type TargetedLie struct {
+	// TargetFrac selects roughly this fraction of the query space.
+	TargetFrac float64
+}
+
+// Corrupt implements Behavior.
+func (t TargetedLie) Corrupt(queryBytes, truePayload []byte, _ *rand.Rand) []byte {
+	h := cryptoutil.HashBytes(queryBytes)
+	// Map the first 4 bytes to [0,1).
+	x := float64(uint32(h[0])<<24|uint32(h[1])<<16|uint32(h[2])<<8|uint32(h[3])) / (1 << 32)
+	if x < t.TargetFrac {
+		return flipPayload(truePayload)
+	}
+	return nil
+}
+
+func (t TargetedLie) String() string { return "targeted-lie" }
+
+// flipPayload produces a deterministic corruption of a payload that (a)
+// always differs from the original and (b) is the same for every slave
+// corrupting the same payload — so colluding slaves in the k-slave
+// variant (§4) return matching wrong answers.
+func flipPayload(p []byte) []byte {
+	out := make([]byte, len(p)+1)
+	copy(out, p)
+	if len(p) > 0 {
+		out[0] ^= 0x5a
+	}
+	out[len(p)] = 0xee // length change guarantees a different hash
+	return out
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/sim"
+)
+
+// RPC method names used by the protocol. Masters additionally route the
+// broadcast package's method names to their broadcast member.
+const (
+	// Master methods.
+	MethodWrite    = "m.write"    // client -> master: ordered write
+	MethodGetSlave = "m.getslave" // client -> master: slave assignment (setup)
+	MethodCheck    = "m.check"    // client -> master: double-check a read
+	MethodReport   = "m.report"   // client/auditor -> master: incriminating pledge
+	MethodSync     = "m.sync"     // slave -> master: fetch missed updates
+	MethodSnapshot = "m.snapshot" // slave -> master: full state transfer (bootstrap/recovery)
+
+	// Slave methods.
+	MethodUpdate    = "s.update"    // master -> slave: committed write + stamp
+	MethodKeepAlive = "s.keepalive" // master -> slave: stamp heartbeat
+	MethodRead      = "s.read"      // client -> slave: execute a query
+
+	// Auditor methods.
+	MethodPledge = "a.pledge" // client -> auditor: forward accepted pledge
+
+	// Client methods.
+	MethodNotify = "c.notify" // master -> client: slave excluded, reassignment
+)
+
+// Params are the protocol's tunables. The zero value is not valid; use
+// DefaultParams as a base.
+type Params struct {
+	// MaxLatency bounds the inconsistency window for writes (§3): once
+	// MaxLatency has elapsed after a commit, no client accepts a read
+	// that does not reflect the write. It also paces writes: two writes
+	// cannot commit closer than MaxLatency apart (§3.1).
+	MaxLatency time.Duration
+	// KeepAliveEvery is how often masters push signed stamps to slaves
+	// even without writes (§3.1). Must be well below MaxLatency.
+	KeepAliveEvery time.Duration
+	// DoubleCheckP is the probability a client double-checks a read with
+	// its master (§3.3).
+	DoubleCheckP float64
+	// AuditorSlack is how long past MaxLatency the auditor waits before
+	// moving to the next content version (§3.4: "a sufficiently large
+	// time interval (more than max_latency)").
+	AuditorSlack time.Duration
+	// AuditSampleP is the fraction of pledges the auditor verifies
+	// (§3.4: an over-used auditor can "weaken the security guarantees by
+	// verifying only a randomly chosen fraction of all reads"). 1 = all.
+	AuditSampleP float64
+	// ClientMaxLatency, if nonzero, overrides MaxLatency on the client
+	// side (§3.2 variant: clients with slow connections set their own
+	// freshness bound).
+	ClientMaxLatency time.Duration
+	// ReadTimeout bounds a client's wait for any single RPC.
+	ReadTimeout time.Duration
+	// MaxReadRetries bounds how often a client retries a stale or failed
+	// read before giving up.
+	MaxReadRetries int
+
+	// GreedyWindow is the sliding window for double-check accounting at
+	// masters (§3.3 greedy-client detection).
+	GreedyWindow time.Duration
+	// GreedyFactor flags a client as greedy when its double-check count
+	// exceeds GreedyFactor x the per-client mean, beyond GreedyMinBurst.
+	GreedyFactor float64
+	// GreedyMinBurst is the minimum count before a client can be flagged.
+	GreedyMinBurst int
+	// GreedyDropFrac is the fraction of a greedy client's double-checks
+	// the master ignores (§3.3: "ignoring a large fraction").
+	GreedyDropFrac float64
+
+	// Costs model CPU time charged on node resources (simulation only).
+	Costs cryptoutil.CostModel
+}
+
+// DefaultParams returns the parameter set used throughout the experiments
+// unless a sweep overrides specific fields.
+func DefaultParams() Params {
+	return Params{
+		MaxLatency:     2 * time.Second,
+		KeepAliveEvery: 500 * time.Millisecond,
+		DoubleCheckP:   0.05,
+		AuditorSlack:   500 * time.Millisecond,
+		AuditSampleP:   1.0,
+		ReadTimeout:    10 * time.Second,
+		MaxReadRetries: 4,
+		GreedyWindow:   30 * time.Second,
+		GreedyFactor:   8,
+		GreedyMinBurst: 20,
+		GreedyDropFrac: 0.9,
+		Costs:          cryptoutil.DefaultCosts(),
+	}
+}
+
+// EffectiveClientMaxLatency returns the freshness bound the client
+// enforces.
+func (p Params) EffectiveClientMaxLatency() time.Duration {
+	if p.ClientMaxLatency > 0 {
+		return p.ClientMaxLatency
+	}
+	return p.MaxLatency
+}
+
+// chargeCPU runs d of work on the node's CPU resource, if one is
+// configured (simulation); otherwise it is free (real deployments pay
+// real CPU instead).
+func chargeCPU(cpu *sim.Resource, d time.Duration) {
+	if cpu != nil && d > 0 {
+		cpu.Use(d)
+	}
+}
+
+// DirectoryService is the slice of pki.Directory behaviour the protocol
+// needs, bound to one content key. In simulations the directory object is
+// shared in-process; over TCP cmd/replnode serves it remotely.
+type DirectoryService interface {
+	VerifiedMasters() ([]pki.Certificate, error)
+	Publish(cert pki.Certificate)
+	Withdraw(subject cryptoutil.PublicKey)
+	RecordExclusion(e pki.Exclusion)
+	IsExcluded(subject cryptoutil.PublicKey) bool
+	ClearExclusion(subject cryptoutil.PublicKey)
+}
+
+// BoundDirectory adapts a *pki.Directory to DirectoryService for one
+// content key.
+type BoundDirectory struct {
+	Dir        *pki.Directory
+	ContentKey cryptoutil.PublicKey
+}
+
+// VerifiedMasters implements DirectoryService.
+func (b BoundDirectory) VerifiedMasters() ([]pki.Certificate, error) {
+	return b.Dir.VerifiedMasters(b.ContentKey)
+}
+
+// Publish implements DirectoryService.
+func (b BoundDirectory) Publish(cert pki.Certificate) { b.Dir.Publish(b.ContentKey, cert) }
+
+// Withdraw implements DirectoryService.
+func (b BoundDirectory) Withdraw(subject cryptoutil.PublicKey) {
+	b.Dir.Withdraw(b.ContentKey, subject)
+}
+
+// RecordExclusion implements DirectoryService.
+func (b BoundDirectory) RecordExclusion(e pki.Exclusion) {
+	b.Dir.RecordExclusion(b.ContentKey, e)
+}
+
+// IsExcluded implements DirectoryService.
+func (b BoundDirectory) IsExcluded(subject cryptoutil.PublicKey) bool {
+	return b.Dir.IsExcluded(b.ContentKey, subject)
+}
+
+// ClearExclusion implements DirectoryService.
+func (b BoundDirectory) ClearExclusion(subject cryptoutil.PublicKey) {
+	b.Dir.ClearExclusion(b.ContentKey, subject)
+}

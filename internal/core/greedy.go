@@ -1,0 +1,79 @@
+package core
+
+import "time"
+
+// greedyTracker implements the paper's greedy-client policing (§3.3): a
+// client is only supposed to double-check a small random fraction of its
+// reads; one that double-checks (nearly) everything shifts read load back
+// onto the trusted masters. Masters keep per-client counts of
+// double-check requests over a sliding window and flag clients whose
+// count is statistically anomalous — far above the per-client mean. The
+// master then ignores a large fraction of the flagged client's
+// double-checks.
+type greedyTracker struct {
+	params  Params
+	window  time.Duration
+	counts  map[string][]time.Time
+	flagged map[string]bool
+}
+
+func newGreedyTracker(p Params) *greedyTracker {
+	return &greedyTracker{
+		params:  p,
+		window:  p.GreedyWindow,
+		counts:  make(map[string][]time.Time),
+		flagged: make(map[string]bool),
+	}
+}
+
+// record notes one double-check from the client and reports whether the
+// client is currently flagged as greedy. Callers throttle flagged clients
+// probabilistically (GreedyDropFrac).
+func (g *greedyTracker) record(client string, now time.Time) bool {
+	cutoff := now.Add(-g.window)
+	ts := g.counts[client]
+	// Drop entries older than the window.
+	i := 0
+	for i < len(ts) && ts[i].Before(cutoff) {
+		i++
+	}
+	ts = append(ts[i:], now)
+	g.counts[client] = ts
+
+	// Flag when this client's in-window count exceeds GreedyFactor times
+	// the mean across all active clients, beyond a minimum burst.
+	mine := len(ts)
+	if mine < g.params.GreedyMinBurst {
+		g.flagged[client] = false
+		return false
+	}
+	total, active := 0, 0
+	for c, h := range g.counts {
+		// Count only entries still inside the window (others' lists are
+		// pruned lazily on their own records; estimate conservatively).
+		n := 0
+		for _, t := range h {
+			if !t.Before(cutoff) {
+				n++
+			}
+		}
+		if n > 0 {
+			total += n
+			active++
+		}
+		_ = c
+	}
+	if active <= 1 {
+		// A single client with a large burst is flagged on burst alone.
+		g.flagged[client] = mine >= g.params.GreedyMinBurst*2
+		return g.flagged[client]
+	}
+	// Compare against the mean of the *other* clients so a heavy abuser
+	// does not dilute its own baseline.
+	meanOthers := float64(total-mine) / float64(active-1)
+	g.flagged[client] = float64(mine) > g.params.GreedyFactor*meanOthers+1
+	return g.flagged[client]
+}
+
+// isFlagged reports the current flag without recording.
+func (g *greedyTracker) isFlagged(client string) bool { return g.flagged[client] }

@@ -1,0 +1,1015 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/query"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Ordered-message kinds carried by the master broadcast (§3.1 writes plus
+// the membership traffic the paper describes: periodic slave lists and
+// redistribution after a master crash, and system-wide slave exclusion).
+const (
+	bcWrite byte = iota + 1
+	bcSlaveList
+	bcAdopt
+	bcExclude
+	bcReadmit
+)
+
+// MasterStats counts a master's activity.
+type MasterStats struct {
+	WritesAdmitted   uint64
+	WritesApplied    uint64
+	WritePacingWaits uint64 // writes delayed by the max_latency spacing rule
+	DoubleChecks     uint64
+	DoubleChecksDrop uint64 // dropped due to greedy-client throttling
+	SensitiveReads   uint64
+	Reports          uint64
+	Exclusions       uint64
+	SyncsServed      uint64
+	KeepAlivesSent   uint64
+	UpdatesSent      uint64
+	ClientsNotified  uint64
+	SlavesAdopted    uint64
+}
+
+// MasterConfig configures a master server.
+type MasterConfig struct {
+	Addr   string
+	Keys   *cryptoutil.KeyPair
+	Params Params
+	// ContentKey is the content owner's public key (names the content).
+	ContentKey cryptoutil.PublicKey
+	// Peers is the full master set in priority order; must be identical
+	// on every master. The auditor's address may appear as the last
+	// entry so it receives ordered writes (see AuditorConfig).
+	Peers []string
+	// AuditorAddr identifies the auditor member (excluded from slave
+	// assignment and trusted as a report source).
+	AuditorAddr string
+	// AuditorPub authenticates reports from the auditor.
+	AuditorPub cryptoutil.PublicKey
+	// ACL is the write access policy.
+	ACL *ACL
+	// Directory is the public directory bound to this content.
+	Directory DirectoryService
+	// CPU, if non-nil, charges modelled service times (simulation).
+	CPU *sim.Resource
+	// Seed drives throttling randomness.
+	Seed int64
+	// SlaveListEvery is how often the master broadcasts its slave list
+	// (0 = 4x KeepAliveEvery).
+	SlaveListEvery time.Duration
+}
+
+type slaveEntry struct {
+	addr string
+	pub  cryptoutil.PublicKey
+	cert pki.Certificate
+}
+
+type clientEntry struct {
+	addr      string
+	pub       cryptoutil.PublicKey
+	slaveAddr string
+}
+
+// Master is a trusted server: it orders writes through the master-set
+// broadcast, executes them, pushes lazy state updates and keep-alives to
+// its slave set, answers double-checks, polices greedy clients, verifies
+// misbehaviour reports and excludes slaves proven malicious (§3).
+type Master struct {
+	cfg MasterConfig
+	rt  sim.Runtime
+	dlr rpc.Dialer
+	rng *rand.Rand
+
+	bcast *broadcast.Member
+
+	mu          sync.Mutex
+	store       *store.Store
+	baseVersion uint64         // content version the deployment started at
+	opLog       [][]byte       // opLog[v-baseVersion-1] = op for version v
+	stampLog    []VersionStamp // stampLog[v-baseVersion-1] = its update stamp
+	lastCommit  time.Time
+	nextWriteAt time.Time
+	slaves      []slaveEntry
+	clients     map[string]*clientEntry // key: client pub
+	peerSlaves  map[string][]slaveEntry // other masters' slave sets
+	adopted     map[string]bool         // dead masters already redistributed
+	excluded    map[string]bool         // excluded slave pubs
+	rrNext      int                     // round-robin cursor for assignment
+	pending     map[string]*sim.Promise // write id -> commit promise (sim)
+	pendingCh   map[string]chan uint64  // write id -> commit channel (real)
+	stats       MasterStats
+	stopped     bool
+
+	greedy *greedyTracker
+}
+
+// NewMaster creates a master over an initial content replica (cloned).
+// Call Start to launch its background loops.
+func NewMaster(cfg MasterConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.Store) (*Master, error) {
+	if cfg.SlaveListEvery == 0 {
+		cfg.SlaveListEvery = 4 * cfg.Params.KeepAliveEvery
+	}
+	m := &Master{
+		cfg:         cfg,
+		rt:          rt,
+		dlr:         dlr,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		store:       initial.Clone(),
+		baseVersion: initial.Version(),
+		clients:     make(map[string]*clientEntry),
+		peerSlaves:  make(map[string][]slaveEntry),
+		adopted:     make(map[string]bool),
+		excluded:    make(map[string]bool),
+		pending:     make(map[string]*sim.Promise),
+		pendingCh:   make(map[string]chan uint64),
+		greedy:      newGreedyTracker(cfg.Params),
+	}
+	bm, err := broadcast.New(broadcast.Config{
+		Self:           cfg.Addr,
+		Peers:          cfg.Peers,
+		Deliver:        m.deliver,
+		CallTimeout:    cfg.Params.KeepAliveEvery,
+		HeartbeatEvery: cfg.Params.KeepAliveEvery,
+		TakeoverAfter:  3 * cfg.Params.KeepAliveEvery,
+	}, rt, dlr)
+	if err != nil {
+		return nil, err
+	}
+	m.bcast = bm
+	return m, nil
+}
+
+// Start launches the broadcast member and the master's periodic loops.
+func (m *Master) Start() {
+	m.bcast.Start()
+	m.rt.Spawn(m.keepAliveLoop)
+	m.rt.Spawn(m.slaveListLoop)
+	m.rt.Spawn(m.crashMonitorLoop)
+}
+
+// Stop halts the master's loops.
+func (m *Master) Stop() {
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+	m.bcast.Stop()
+}
+
+// Stats returns a snapshot of the master's counters.
+func (m *Master) Stats() MasterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Version returns the master replica's content version.
+func (m *Master) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.Version()
+}
+
+// StateDigest exposes the replica digest for convergence checks.
+func (m *Master) StateDigest() cryptoutil.Digest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.StateDigest()
+}
+
+// Addr returns the master's address.
+func (m *Master) Addr() string { return m.cfg.Addr }
+
+// PublicKey returns the master's public key.
+func (m *Master) PublicKey() cryptoutil.PublicKey { return m.cfg.Keys.Public }
+
+// AddSlave places a slave under this master's control and issues its
+// certificate (§2: "each master keeps track of the contact addresses and
+// public keys of the slaves it has been assigned").
+func (m *Master) AddSlave(addr string, pub cryptoutil.PublicKey) {
+	cert := pki.Certificate{
+		Role:     pki.RoleSlave,
+		Addr:     addr,
+		Subject:  pub,
+		IssuedAt: m.rt.Now(),
+	}
+	cert.Sign(m.cfg.Keys)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.slaves = append(m.slaves, slaveEntry{addr: addr, pub: pub, cert: cert})
+}
+
+// SlaveCount returns the number of live slaves in this master's set.
+func (m *Master) SlaveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.slaves)
+}
+
+// Handle routes the master's RPC methods (including broadcast traffic).
+func (m *Master) Handle(from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case broadcast.MethodSubmit, broadcast.MethodCommit, broadcast.MethodFetch,
+		broadcast.MethodStatus, broadcast.MethodHello:
+		return m.bcast.Handle(from, method, body)
+	case MethodWrite:
+		return m.handleWrite(body)
+	case MethodGetSlave:
+		return m.handleGetSlave(body)
+	case MethodCheck:
+		return m.handleCheck(body)
+	case MethodReport:
+		return m.handleReport(from, body)
+	case MethodSync:
+		return m.handleSync(body)
+	case MethodSnapshot:
+		return m.handleSnapshot(body)
+	}
+	return nil, fmt.Errorf("core: master: unknown method %q", method)
+}
+
+// --- Write path ----------------------------------------------------------
+
+func (m *Master) handleWrite(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	wr, err := DecodeWriteRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.VerifySig)
+	if err := wr.VerifySig(); err != nil {
+		return nil, fmt.Errorf("%w: bad signature", ErrDenied)
+	}
+	if m.cfg.ACL != nil && !m.cfg.ACL.Permits(wr.ClientPub) {
+		return nil, ErrDenied
+	}
+
+	// §3.1: two writes cannot be closer than max_latency; this master
+	// paces its own admissions.
+	m.mu.Lock()
+	now := m.rt.Now()
+	wait := time.Duration(0)
+	if m.nextWriteAt.After(now) {
+		wait = m.nextWriteAt.Sub(now)
+		m.stats.WritePacingWaits++
+	}
+	if m.nextWriteAt.Before(now) {
+		m.nextWriteAt = now
+	}
+	m.nextWriteAt = m.nextWriteAt.Add(m.cfg.Params.MaxLatency)
+	m.stats.WritesAdmitted++
+	id := fmt.Sprintf("%s/%d", m.cfg.Addr, m.stats.WritesAdmitted)
+	m.mu.Unlock()
+	if wait > 0 {
+		if err := m.rt.Sleep(wait); err != nil {
+			return nil, err
+		}
+	}
+
+	// Register for our own delivery before broadcasting.
+	handle := m.registerPending(id)
+	w := wire.NewWriter(len(body) + 32)
+	w.Byte(bcWrite)
+	w.String_(id)
+	wr.Encode(w)
+	if err := m.bcast.Broadcast(w.Bytes()); err != nil {
+		m.cancelPending(id)
+		return nil, err
+	}
+	version, err := m.awaitCommit(id, handle)
+	if err != nil {
+		return nil, err
+	}
+	out := wire.NewWriter(16)
+	out.Uvarint(version)
+	return out.Bytes(), nil
+}
+
+// commitHandle is what a write waiter holds: a promise in virtual time or
+// a channel in real time.
+type commitHandle struct {
+	p  *sim.Promise
+	ch chan uint64
+}
+
+// registerPending prepares to wait for the local delivery of write id.
+func (m *Master) registerPending(id string) commitHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.rt.(*sim.Sim); ok {
+		p := s.NewPromise()
+		m.pending[id] = p
+		return commitHandle{p: p}
+	}
+	ch := make(chan uint64, 1)
+	m.pendingCh[id] = ch
+	return commitHandle{ch: ch}
+}
+
+func (m *Master) cancelPending(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.pending, id)
+	delete(m.pendingCh, id)
+}
+
+func (m *Master) awaitCommit(id string, h commitHandle) (uint64, error) {
+	if h.ch != nil {
+		select {
+		case v := <-h.ch:
+			return v, nil
+		case <-time.After(m.cfg.Params.ReadTimeout):
+			m.cancelPending(id)
+			return 0, rpc.ErrTimeout
+		}
+	}
+	v, err := h.p.Future().Await()
+	if err != nil {
+		return 0, err
+	}
+	return v.(uint64), nil
+}
+
+func (m *Master) resolvePending(id string, version uint64) {
+	m.mu.Lock()
+	p := m.pending[id]
+	ch := m.pendingCh[id]
+	delete(m.pending, id)
+	delete(m.pendingCh, id)
+	m.mu.Unlock()
+	if p != nil && !p.Resolved() {
+		p.Resolve(version)
+	}
+	if ch != nil {
+		ch <- version
+	}
+}
+
+// deliver is the broadcast delivery callback: every master executes the
+// same ordered messages.
+func (m *Master) deliver(seq uint64, msg []byte) {
+	r := wire.NewReader(msg)
+	kind := r.Byte()
+	switch kind {
+	case bcWrite:
+		id := r.String()
+		wr, err := DecodeWriteRequest(r)
+		if err != nil {
+			return
+		}
+		m.applyWrite(id, wr)
+	case bcSlaveList:
+		masterAddr := r.String()
+		n := r.Uvarint()
+		entries := make([]slaveEntry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			cert, err := pki.DecodeCertificate(r)
+			if err != nil {
+				return
+			}
+			entries = append(entries, slaveEntry{addr: cert.Addr, pub: cert.Subject, cert: cert})
+		}
+		m.mu.Lock()
+		if masterAddr != m.cfg.Addr {
+			m.peerSlaves[masterAddr] = entries
+		}
+		m.mu.Unlock()
+	case bcAdopt:
+		m.applyAdopt(r)
+	case bcExclude:
+		m.applyExclude(r)
+	case bcReadmit:
+		m.applyReadmit(r)
+	}
+}
+
+func (m *Master) applyWrite(id string, wr WriteRequest) {
+	op, err := store.DecodeOp(wr.OpBytes)
+	if err != nil {
+		m.resolvePending(id, 0)
+		return
+	}
+	m.mu.Lock()
+	m.store.Apply(op)
+	m.opLog = append(m.opLog, wr.OpBytes)
+	version := m.store.Version()
+	// Lazy slave update (§3.1): a fresh signed stamp binding the op
+	// bytes, retained for later slave syncs.
+	stamp := SignStampWithOp(m.cfg.Keys, version, m.rt.Now(), wr.OpBytes)
+	m.stampLog = append(m.stampLog, stamp)
+	m.lastCommit = m.rt.Now()
+	m.stats.WritesApplied++
+	slaves := append([]slaveEntry(nil), m.slaves...)
+	m.mu.Unlock()
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.QueryBase) // apply cost
+
+	m.resolvePending(id, version)
+
+	w := wire.NewWriter(len(wr.OpBytes) + 128)
+	w.Uvarint(version)
+	w.Bytes_(wr.OpBytes)
+	stamp.Encode(w)
+	w.String_(m.cfg.Addr)
+	frame := w.Bytes()
+	for _, sl := range slaves {
+		sl := sl
+		m.rt.Spawn(func() {
+			chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.SendReply)
+			m.dlr.CallTimeout(sl.addr, MethodUpdate, frame, m.cfg.Params.ReadTimeout)
+			m.mu.Lock()
+			m.stats.UpdatesSent++
+			m.mu.Unlock()
+		})
+	}
+}
+
+// --- Setup / assignment ----------------------------------------------------
+
+func (m *Master) handleGetSlave(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	clientAddr := r.String()
+	clientPub := cryptoutil.PublicKey(r.Bytes())
+	count := int(r.Uvarint())
+	exclude := r.StringSlice()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if count < 1 {
+		count = 1
+	}
+	excl := make(map[string]bool, len(exclude))
+	for _, a := range exclude {
+		excl[a] = true
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var picked []slaveEntry
+	for i := 0; i < len(m.slaves) && len(picked) < count; i++ {
+		e := m.slaves[(m.rrNext+i)%len(m.slaves)]
+		if excl[e.addr] || m.excluded[string(e.pub)] {
+			continue
+		}
+		picked = append(picked, e)
+	}
+	if len(picked) == 0 {
+		return nil, ErrNoSlaves
+	}
+	m.rrNext = (m.rrNext + 1) % max(1, len(m.slaves))
+	m.clients[string(clientPub)] = &clientEntry{
+		addr: clientAddr, pub: clientPub, slaveAddr: picked[0].addr,
+	}
+	w := wire.NewWriter(256)
+	w.Uvarint(uint64(len(picked)))
+	for _, e := range picked {
+		e.cert.Encode(w)
+	}
+	return w.Bytes(), nil
+}
+
+// --- Double-check and sensitive reads --------------------------------------
+
+func (m *Master) handleCheck(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	clientPub := cryptoutil.PublicKey(r.Bytes())
+	wantPayload := r.Bool()
+	queryBytes := r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	m.stats.DoubleChecks++
+	if wantPayload {
+		m.stats.SensitiveReads++
+	}
+	throttle := m.greedy.record(string(clientPub), m.rt.Now()) &&
+		m.rng.Float64() < m.cfg.Params.GreedyDropFrac
+	if throttle {
+		m.stats.DoubleChecksDrop++
+	}
+	m.mu.Unlock()
+	if throttle {
+		return nil, ErrThrottled
+	}
+
+	q, err := query.Decode(queryBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	res, err := q.Execute(m.store)
+	version := m.store.Version()
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.QueryCost(res.Scanned))
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.HashCost(len(res.Payload)))
+	digest := res.Digest()
+
+	w := wire.NewWriter(64 + len(res.Payload))
+	w.Uvarint(version)
+	w.Bytes_(digest[:])
+	if wantPayload {
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.SendReply)
+		w.Bool(true)
+		w.Bytes_(res.Payload)
+	} else {
+		w.Bool(false)
+	}
+	return w.Bytes(), nil
+}
+
+// --- Reports and exclusion --------------------------------------------------
+
+func (m *Master) handleReport(from string, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	pledgeBytes := r.Bytes()
+	auditorSig := r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	pr := wire.NewReader(pledgeBytes)
+	pledge, err := DecodePledge(pr)
+	if err != nil {
+		return nil, err
+	}
+	if err := pr.Done(); err != nil {
+		return nil, err
+	}
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.VerifySig)
+	if err := pledge.VerifySig(); err != nil {
+		return nil, err // a forged pledge can never frame a slave (§3.3)
+	}
+
+	m.mu.Lock()
+	m.stats.Reports++
+	sameVersion := m.store.Version() == pledge.Stamp.Version
+	m.mu.Unlock()
+
+	proven := false
+	if sameVersion {
+		m.mu.Lock()
+		ok, _, err := CheckPledgeAgainst(m.store, &pledge)
+		m.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.QueryBase)
+		proven = ok
+	}
+	if !proven && len(auditorSig) > 0 &&
+		cryptoutil.Verify(m.cfg.AuditorPub, pledgeBytes, auditorSig) == nil {
+		// The auditor re-executed at the correct version; it is a trusted
+		// server and its signature authenticates the report (the pledge
+		// itself remains the evidence of record).
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.VerifySig)
+		proven = true
+	}
+	if !proven {
+		return nil, ErrNotProven
+	}
+
+	// Propagate the exclusion through the ordered broadcast so every
+	// master updates its view and exactly one (the slave's owner)
+	// reassigns the affected clients.
+	w := wire.NewWriter(len(body) + 8)
+	w.Byte(bcExclude)
+	pledge.Encode(w)
+	if err := m.bcast.Broadcast(w.Bytes()); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (m *Master) applyExclude(r *wire.Reader) {
+	pledge, err := DecodePledge(r)
+	if err != nil {
+		return
+	}
+	slavePub := string(pledge.SlavePub)
+	m.mu.Lock()
+	if m.excluded[slavePub] {
+		m.mu.Unlock()
+		return // already handled
+	}
+	m.excluded[slavePub] = true
+	// Am I the owner of this slave?
+	ownIdx := -1
+	for i, e := range m.slaves {
+		if string(e.pub) == slavePub {
+			ownIdx = i
+			break
+		}
+	}
+	var excludedAddr string
+	if ownIdx >= 0 {
+		excludedAddr = m.slaves[ownIdx].addr
+		m.slaves = append(m.slaves[:ownIdx], m.slaves[ownIdx+1:]...)
+		m.stats.Exclusions++
+	}
+	m.mu.Unlock()
+	if ownIdx < 0 {
+		return
+	}
+
+	// Record the signed exclusion with the directory (evidence attached).
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+	excl := pki.Exclusion{
+		Subject:  pledge.SlavePub,
+		Reason:   "pledged result hash does not match trusted re-execution",
+		At:       m.rt.Now(),
+		Evidence: EncodePledge(pledge),
+	}
+	excl.Sign(m.cfg.Keys)
+	m.cfg.Directory.RecordExclusion(excl)
+
+	// §3.5: contact all clients connected to the malicious slave, inform
+	// them, and assign each a new slave.
+	m.rt.Spawn(func() { m.reassignClientsOf(excludedAddr, excl) })
+}
+
+func (m *Master) reassignClientsOf(slaveAddr string, excl pki.Exclusion) {
+	m.mu.Lock()
+	var affected []*clientEntry
+	for _, c := range m.clients {
+		if c.slaveAddr == slaveAddr {
+			affected = append(affected, c)
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range affected {
+		m.mu.Lock()
+		var repl *slaveEntry
+		for i := 0; i < len(m.slaves); i++ {
+			e := m.slaves[(m.rrNext+i)%len(m.slaves)]
+			if !m.excluded[string(e.pub)] {
+				repl = &e
+				break
+			}
+		}
+		if len(m.slaves) > 0 {
+			m.rrNext = (m.rrNext + 1) % len(m.slaves)
+		}
+		if repl != nil {
+			c.slaveAddr = repl.addr
+		}
+		m.mu.Unlock()
+		if repl == nil {
+			continue
+		}
+		w := wire.NewWriter(512)
+		excl.Encode(w)
+		repl.cert.Encode(w)
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.SendReply)
+		m.dlr.CallTimeout(c.addr, MethodNotify, w.Bytes(), m.cfg.Params.ReadTimeout)
+		m.mu.Lock()
+		m.stats.ClientsNotified++
+		m.mu.Unlock()
+	}
+}
+
+// --- Slave sync --------------------------------------------------------------
+
+func (m *Master) handleSync(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	from := r.Uvarint()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.SyncsServed++
+	w := wire.NewWriter(1024)
+	cur := m.store.Version()
+	if from <= m.baseVersion {
+		// History below the deployment's base is not replayable; replicas
+		// start from the same initial content, so this cannot happen for
+		// well-behaved slaves.
+		return nil, fmt.Errorf("core: sync from version %d predates base %d", from, m.baseVersion)
+	}
+	n := uint64(0)
+	if cur >= from {
+		n = cur - from + 1
+	}
+	w.Uvarint(n)
+	for v := from; v <= cur; v++ {
+		idx := v - m.baseVersion - 1
+		w.Uvarint(v)
+		w.Bytes_(m.opLog[idx])
+		m.stampLog[idx].Encode(w)
+	}
+	stamp := SignStamp(m.cfg.Keys, cur, m.rt.Now())
+	stamp.Encode(w)
+	return w.Bytes(), nil
+}
+
+// --- Bootstrap and recovery ---------------------------------------------------
+
+// handleSnapshot serves a full state transfer: the snapshot bytes plus a
+// stamp whose OpDigest authenticates them, so a bootstrapping slave can
+// verify the state even over an unauthenticated transport.
+func (m *Master) handleSnapshot(body []byte) ([]byte, error) {
+	m.mu.Lock()
+	snap := m.store.EncodeSnapshot()
+	version := m.store.Version()
+	m.mu.Unlock()
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.HashCost(len(snap)))
+	stamp := SignStampWithOp(m.cfg.Keys, version, m.rt.Now(), snap)
+	w := wire.NewWriter(len(snap) + 160)
+	w.Bytes_(snap)
+	stamp.Encode(w)
+	w.String_(m.cfg.Addr)
+	return w.Bytes(), nil
+}
+
+// ReadmitSlave brings a recovered slave back into service (§3.5: a slave
+// that was the victim of an attack can be brought back after recovery to
+// a safe state). The decision to readmit is the operator's; this method
+// executes it: the exclusion is cleared on every master and in the
+// directory, and the slave rejoins this master's set with a fresh
+// certificate. The slave itself should Bootstrap first so its replica is
+// current.
+func (m *Master) ReadmitSlave(addr string, pub cryptoutil.PublicKey) error {
+	cert := pki.Certificate{
+		Role: pki.RoleSlave, Addr: addr, Subject: pub, IssuedAt: m.rt.Now(),
+	}
+	cert.Sign(m.cfg.Keys)
+	w := wire.NewWriter(512)
+	w.Byte(bcReadmit)
+	w.String_(m.cfg.Addr) // the readmitting owner
+	cert.Encode(w)
+	return m.bcast.Broadcast(w.Bytes())
+}
+
+func (m *Master) applyReadmit(r *wire.Reader) {
+	owner := r.String()
+	cert, err := pki.DecodeCertificate(r)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	delete(m.excluded, string(cert.Subject))
+	if owner == m.cfg.Addr {
+		// Rejoin our slave set unless it is already present.
+		present := false
+		for _, e := range m.slaves {
+			if e.addr == cert.Addr {
+				present = true
+				break
+			}
+		}
+		if !present {
+			m.slaves = append(m.slaves, slaveEntry{addr: cert.Addr, pub: cert.Subject, cert: cert})
+		}
+	}
+	m.mu.Unlock()
+	if owner == m.cfg.Addr {
+		m.cfg.Directory.ClearExclusion(cert.Subject)
+		// Bring it up to date immediately with a keep-alive.
+		m.rt.Spawn(func() {
+			m.mu.Lock()
+			version := m.store.Version()
+			m.mu.Unlock()
+			stamp := SignStamp(m.cfg.Keys, version, m.rt.Now())
+			w := wire.NewWriter(160)
+			stamp.Encode(w)
+			w.String_(m.cfg.Addr)
+			m.dlr.CallTimeout(cert.Addr, MethodKeepAlive, w.Bytes(), m.cfg.Params.ReadTimeout)
+		})
+	}
+}
+
+// --- Background loops ---------------------------------------------------------
+
+func (m *Master) keepAliveLoop() {
+	for {
+		if m.rt.Sleep(m.cfg.Params.KeepAliveEvery) != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		version := m.store.Version()
+		slaves := append([]slaveEntry(nil), m.slaves...)
+		m.mu.Unlock()
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+		stamp := SignStamp(m.cfg.Keys, version, m.rt.Now())
+		w := wire.NewWriter(128)
+		stamp.Encode(w)
+		w.String_(m.cfg.Addr)
+		frame := w.Bytes()
+		for _, sl := range slaves {
+			sl := sl
+			m.rt.Spawn(func() {
+				m.dlr.CallTimeout(sl.addr, MethodKeepAlive, frame, m.cfg.Params.KeepAliveEvery)
+				m.mu.Lock()
+				m.stats.KeepAlivesSent++
+				m.mu.Unlock()
+			})
+		}
+	}
+}
+
+func (m *Master) slaveListLoop() {
+	for {
+		if m.rt.Sleep(m.cfg.SlaveListEvery) != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		slaves := append([]slaveEntry(nil), m.slaves...)
+		m.mu.Unlock()
+		w := wire.NewWriter(1024)
+		w.Byte(bcSlaveList)
+		w.String_(m.cfg.Addr)
+		w.Uvarint(uint64(len(slaves)))
+		for _, e := range slaves {
+			e.cert.Encode(w)
+		}
+		m.bcast.Broadcast(w.Bytes())
+	}
+}
+
+// crashMonitorLoop watches for crashed masters and initiates slave-set
+// redistribution (§3: "in the event of a master crash, the remaining ones
+// will divide its slave set").
+func (m *Master) crashMonitorLoop() {
+	for {
+		if m.rt.Sleep(m.cfg.SlaveListEvery) != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Unlock()
+		for _, dead := range m.bcast.SuspectedPeers() {
+			if dead == m.cfg.AuditorAddr {
+				continue
+			}
+			m.mu.Lock()
+			already := m.adopted[dead]
+			_, known := m.peerSlaves[dead]
+			m.mu.Unlock()
+			if already || !known {
+				continue
+			}
+			if !m.isLowestSurvivor(dead) {
+				continue
+			}
+			m.initiateAdoption(dead)
+		}
+	}
+}
+
+// isLowestSurvivor reports whether this master is the first non-suspected
+// non-auditor peer, and therefore the one that coordinates redistribution.
+func (m *Master) isLowestSurvivor(dead string) bool {
+	suspected := map[string]bool{dead: true}
+	for _, s := range m.bcast.SuspectedPeers() {
+		suspected[s] = true
+	}
+	for _, p := range m.cfg.Peers {
+		if p == m.cfg.AuditorAddr || suspected[p] {
+			continue
+		}
+		return p == m.cfg.Addr
+	}
+	return false
+}
+
+// initiateAdoption broadcasts the division of a dead master's slave set
+// among the survivors, round-robin in peer order.
+func (m *Master) initiateAdoption(dead string) {
+	m.mu.Lock()
+	orphans := m.peerSlaves[dead]
+	m.mu.Unlock()
+	suspected := map[string]bool{dead: true}
+	for _, s := range m.bcast.SuspectedPeers() {
+		suspected[s] = true
+	}
+	var survivors []string
+	for _, p := range m.cfg.Peers {
+		if p == m.cfg.AuditorAddr || suspected[p] {
+			continue
+		}
+		survivors = append(survivors, p)
+	}
+	if len(survivors) == 0 {
+		return
+	}
+	w := wire.NewWriter(1024)
+	w.Byte(bcAdopt)
+	w.String_(dead)
+	w.Uvarint(uint64(len(orphans)))
+	for i, e := range orphans {
+		w.String_(survivors[i%len(survivors)]) // new owner
+		e.cert.Encode(w)
+	}
+	m.bcast.Broadcast(w.Bytes())
+}
+
+func (m *Master) applyAdopt(r *wire.Reader) {
+	dead := r.String()
+	n := r.Uvarint()
+	type assignment struct {
+		owner string
+		cert  pki.Certificate
+	}
+	assigns := make([]assignment, 0, n)
+	for i := uint64(0); i < n; i++ {
+		owner := r.String()
+		cert, err := pki.DecodeCertificate(r)
+		if err != nil {
+			return
+		}
+		assigns = append(assigns, assignment{owner, cert})
+	}
+	m.mu.Lock()
+	if m.adopted[dead] {
+		m.mu.Unlock()
+		return
+	}
+	m.adopted[dead] = true
+	delete(m.peerSlaves, dead)
+	var mine []slaveEntry
+	for _, a := range assigns {
+		if a.owner == m.cfg.Addr && !m.excluded[string(a.cert.Subject)] {
+			e := slaveEntry{addr: a.cert.Addr, pub: a.cert.Subject, cert: a.cert}
+			// Re-issue the certificate under this master's key.
+			e.cert = pki.Certificate{
+				Role: pki.RoleSlave, Addr: e.addr, Subject: e.pub, IssuedAt: m.rt.Now(),
+			}
+			e.cert.Sign(m.cfg.Keys)
+			m.slaves = append(m.slaves, e)
+			m.stats.SlavesAdopted++
+			mine = append(mine, e)
+		}
+	}
+	m.mu.Unlock()
+	// The coordinating master withdraws the dead master's directory entry.
+	if m.isLowestSurvivor(dead) {
+		m.rt.Spawn(func() {
+			// Dead master's key is unknown here; withdraw by looking up
+			// its certificate through the directory.
+			masters, err := m.cfg.Directory.VerifiedMasters()
+			if err != nil {
+				return
+			}
+			for _, c := range masters {
+				if c.Addr == dead {
+					m.cfg.Directory.Withdraw(c.Subject)
+				}
+			}
+		})
+	}
+	// Repoint adopted slaves at this master immediately with a keep-alive
+	// carrying our stamp; the slave learns its new sync source.
+	for _, e := range mine {
+		e := e
+		m.rt.Spawn(func() {
+			m.mu.Lock()
+			version := m.store.Version()
+			m.mu.Unlock()
+			stamp := SignStamp(m.cfg.Keys, version, m.rt.Now())
+			w := wire.NewWriter(128)
+			stamp.Encode(w)
+			w.String_(m.cfg.Addr)
+			m.dlr.CallTimeout(e.addr, MethodKeepAlive, w.Bytes(), m.cfg.Params.ReadTimeout)
+		})
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/query"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// masterRig wires a single master (broadcast peer set of one) for unit
+// tests of its RPC surface.
+type masterRig struct {
+	s      *sim.Sim
+	net    *rpc.SimNet
+	master *Master
+	owner  *cryptoutil.KeyPair
+	dir    *pki.Directory
+	acl    *ACL
+	client *cryptoutil.KeyPair
+}
+
+func newMasterRig(t *testing.T, mut func(*MasterConfig)) *masterRig {
+	t.Helper()
+	s := sim.New(1)
+	net := rpc.NewSimNet(s, sim.Const(time.Millisecond))
+	owner := cryptoutil.DeriveKeyPair("owner", 0)
+	dir := pki.NewDirectory()
+	client := cryptoutil.DeriveKeyPair("client", 0)
+	acl := NewACL(client.Public)
+	initial := store.New()
+	initial.Apply(store.Put{Key: "k", Value: []byte("v")})
+	params := DefaultParams()
+	params.MaxLatency = 200 * time.Millisecond // fast tests
+	cfg := MasterConfig{
+		Addr:        "master",
+		Keys:        cryptoutil.DeriveKeyPair("master", 0),
+		Params:      params,
+		ContentKey:  owner.Public,
+		Peers:       []string{"master"},
+		AuditorAddr: "auditor",
+		AuditorPub:  cryptoutil.DeriveKeyPair("auditor", 0).Public,
+		ACL:         acl,
+		Directory:   BoundDirectory{Dir: dir, ContentKey: owner.Public},
+		Seed:        1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := NewMaster(cfg, s, net.Dialer("master"), initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("master", m.Handle)
+	return &masterRig{s: s, net: net, master: m, owner: owner, dir: dir, acl: acl, client: client}
+}
+
+func (r *masterRig) write(keys *cryptoutil.KeyPair, op store.Op) ([]byte, error) {
+	wr := SignWrite(keys, op)
+	w := wire.NewWriter(256)
+	wr.Encode(w)
+	return r.master.Handle("client", MethodWrite, w.Bytes())
+}
+
+func TestMasterWriteACLDenied(t *testing.T) {
+	r := newMasterRig(t, nil)
+	outsider := cryptoutil.DeriveKeyPair("outsider", 0)
+	var err error
+	r.s.Go(func() {
+		_, err = r.write(outsider, store.Put{Key: "x", Value: []byte("1")})
+	})
+	r.s.Run()
+	if err == nil || !strings.Contains(err.Error(), ErrDenied.Error()) {
+		t.Fatalf("err = %v, want denied", err)
+	}
+	if r.master.Version() != 1 {
+		t.Fatal("denied write applied")
+	}
+}
+
+func TestMasterWriteBadSignatureDenied(t *testing.T) {
+	r := newMasterRig(t, nil)
+	var err error
+	r.s.Go(func() {
+		wr := SignWrite(r.client, store.Put{Key: "x", Value: []byte("1")})
+		wr.OpBytes = store.EncodeOp(store.Put{Key: "x", Value: []byte("evil")})
+		w := wire.NewWriter(256)
+		wr.Encode(w)
+		_, err = r.master.Handle("client", MethodWrite, w.Bytes())
+	})
+	r.s.Run()
+	if err == nil {
+		t.Fatal("tampered write accepted")
+	}
+}
+
+func TestMasterWriteCommitsAndLogs(t *testing.T) {
+	r := newMasterRig(t, nil)
+	var body []byte
+	var err error
+	r.s.Go(func() {
+		body, err = r.write(r.client, store.Put{Key: "x", Value: []byte("1")})
+	})
+	r.s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := wire.NewReader(body)
+	if v := rr.Uvarint(); v != 2 {
+		t.Fatalf("committed version = %d, want 2", v)
+	}
+	if r.master.Version() != 2 {
+		t.Fatalf("master version = %d", r.master.Version())
+	}
+}
+
+func TestMasterSyncServesStampedOps(t *testing.T) {
+	r := newMasterRig(t, nil)
+	masterPub := r.master.PublicKey()
+	var body []byte
+	r.s.Go(func() {
+		r.write(r.client, store.Put{Key: "a", Value: []byte("1")})
+		// Respect write pacing before the second write.
+		r.s.Sleep(300 * time.Millisecond)
+		r.write(r.client, store.Put{Key: "b", Value: []byte("2")})
+		w := wire.NewWriter(16)
+		w.Uvarint(2) // from version 2 (base is 1)
+		var err error
+		body, err = r.master.Handle("slave", MethodSync, w.Bytes())
+		if err != nil {
+			t.Errorf("sync: %v", err)
+		}
+	})
+	r.s.Run()
+	rr := wire.NewReader(body)
+	n := rr.Uvarint()
+	if n != 2 {
+		t.Fatalf("sync returned %d ops, want 2", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v := rr.Uvarint()
+		opBytes := rr.Bytes()
+		stamp, err := DecodeStamp(rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stamp.Verify([]cryptoutil.PublicKey{masterPub}); err != nil {
+			t.Fatalf("op %d stamp: %v", v, err)
+		}
+		if stamp.Version != v || !stamp.AuthenticatesOp(opBytes) {
+			t.Fatalf("op %d not authenticated by its stamp", v)
+		}
+	}
+}
+
+func TestMasterSyncRejectsPreBaseHistory(t *testing.T) {
+	r := newMasterRig(t, nil)
+	var err error
+	r.s.Go(func() {
+		w := wire.NewWriter(16)
+		w.Uvarint(1) // base version itself: not replayable
+		_, err = r.master.Handle("slave", MethodSync, w.Bytes())
+	})
+	r.s.Run()
+	if err == nil {
+		t.Fatal("pre-base sync served")
+	}
+}
+
+func TestMasterCheckReturnsVersionAndHash(t *testing.T) {
+	r := newMasterRig(t, nil)
+	var body []byte
+	r.s.Go(func() {
+		w := wire.NewWriter(64)
+		w.Bytes_(r.client.Public)
+		w.Bool(false)
+		w.Bytes_(query.Encode(query.Get{Key: "k"}))
+		var err error
+		body, err = r.master.Handle("client", MethodCheck, w.Bytes())
+		if err != nil {
+			t.Errorf("check: %v", err)
+		}
+	})
+	r.s.Run()
+	rr := wire.NewReader(body)
+	version := rr.Uvarint()
+	hash := rr.Bytes()
+	hasPayload := rr.Bool()
+	if version != 1 || len(hash) != cryptoutil.DigestSize || hasPayload {
+		t.Fatalf("version=%d hashlen=%d payload=%v", version, len(hash), hasPayload)
+	}
+	res, _ := (query.Get{Key: "k"}).Execute(storeWith(t, "k", "v"))
+	if !res.Digest().Equal(digestOf(hash)) {
+		t.Fatal("check hash does not match trusted execution")
+	}
+}
+
+func storeWith(t *testing.T, k, v string) *store.Store {
+	t.Helper()
+	s := store.New()
+	s.Apply(store.Put{Key: k, Value: []byte(v)})
+	return s
+}
+
+func digestOf(b []byte) cryptoutil.Digest {
+	var d cryptoutil.Digest
+	copy(d[:], b)
+	return d
+}
+
+func TestMasterReportUnprovenRejected(t *testing.T) {
+	// An honest slave's pledge reported by a spiteful client must not
+	// lead to exclusion (§3.3: clients cannot frame slaves).
+	r := newMasterRig(t, nil)
+	slaveKeys := cryptoutil.DeriveKeyPair("slave", 0)
+	r.master.AddSlave("slave-0", slaveKeys.Public)
+	var err error
+	r.s.Go(func() {
+		// Build an honest pledge at the master's version.
+		res, _ := (query.Get{Key: "k"}).Execute(storeWith(t, "k", "v"))
+		stamp := SignStamp(cryptoutil.DeriveKeyPair("master", 0), 1, r.s.Now())
+		p := SignPledge(slaveKeys, query.Encode(query.Get{Key: "k"}), res.Digest(), stamp)
+		w := wire.NewWriter(512)
+		w.Bytes_(EncodePledge(p))
+		w.Bytes_(nil)
+		_, err = r.master.Handle("client", MethodReport, w.Bytes())
+	})
+	r.s.Run()
+	if err == nil || !strings.Contains(err.Error(), ErrNotProven.Error()) {
+		t.Fatalf("err = %v, want not-proven", err)
+	}
+	if r.master.Stats().Exclusions != 0 {
+		t.Fatal("honest slave excluded")
+	}
+}
+
+func TestMasterReportProvenExcludes(t *testing.T) {
+	r := newMasterRig(t, nil)
+	slaveKeys := cryptoutil.DeriveKeyPair("slave", 0)
+	r.master.AddSlave("slave-0", slaveKeys.Public)
+	r.s.Go(func() {
+		stamp := SignStamp(cryptoutil.DeriveKeyPair("master", 0), 1, r.s.Now())
+		p := SignPledge(slaveKeys, query.Encode(query.Get{Key: "k"}),
+			cryptoutil.HashBytes([]byte("wrong")), stamp)
+		w := wire.NewWriter(512)
+		w.Bytes_(EncodePledge(p))
+		w.Bytes_(nil)
+		if _, err := r.master.Handle("client", MethodReport, w.Bytes()); err != nil {
+			t.Errorf("report: %v", err)
+		}
+	})
+	r.s.Run()
+	if r.master.Stats().Exclusions != 1 {
+		t.Fatalf("stats: %+v", r.master.Stats())
+	}
+	if r.master.SlaveCount() != 0 {
+		t.Fatal("excluded slave still in set")
+	}
+	if !r.dir.IsExcluded(r.owner.Public, slaveKeys.Public) {
+		t.Fatal("exclusion not recorded in directory")
+	}
+}
+
+func TestMasterReportSignedByAuditorTrusted(t *testing.T) {
+	// A version-mismatched report is only accepted with a valid auditor
+	// signature.
+	auditorKeys := cryptoutil.DeriveKeyPair("auditor", 0)
+	r := newMasterRig(t, nil)
+	slaveKeys := cryptoutil.DeriveKeyPair("slave", 0)
+	r.master.AddSlave("slave-0", slaveKeys.Public)
+	mk := cryptoutil.DeriveKeyPair("master", 0)
+	build := func(sig []byte, pledgeBytes []byte) []byte {
+		w := wire.NewWriter(512)
+		w.Bytes_(pledgeBytes)
+		w.Bytes_(sig)
+		return w.Bytes()
+	}
+	var errNoSig, errSig error
+	r.s.Go(func() {
+		stamp := SignStamp(mk, 99, r.s.Now()) // version the master is NOT at
+		p := SignPledge(slaveKeys, query.Encode(query.Get{Key: "k"}),
+			cryptoutil.HashBytes([]byte("wrong")), stamp)
+		pb := EncodePledge(p)
+		_, errNoSig = r.master.Handle("anyone", MethodReport, build(nil, pb))
+		_, errSig = r.master.Handle("anyone", MethodReport, build(auditorKeys.Sign(pb), pb))
+	})
+	r.s.Run()
+	if errNoSig == nil {
+		t.Fatal("unsigned version-mismatched report accepted")
+	}
+	if errSig != nil {
+		t.Fatalf("auditor-signed report rejected: %v", errSig)
+	}
+	if r.master.Stats().Exclusions != 1 {
+		t.Fatalf("stats: %+v", r.master.Stats())
+	}
+}
+
+func TestMasterGetSlaveAssignsAndExcludes(t *testing.T) {
+	r := newMasterRig(t, nil)
+	for i := 0; i < 3; i++ {
+		keys := cryptoutil.DeriveKeyPair("slave", i)
+		r.master.AddSlave(addrOf(i), keys.Public)
+	}
+	ask := func(exclude []string) string {
+		w := wire.NewWriter(128)
+		w.String_("client-addr")
+		w.Bytes_(r.client.Public)
+		w.Uvarint(1)
+		w.StringSlice(exclude)
+		body, err := r.master.Handle("client", MethodGetSlave, w.Bytes())
+		if err != nil {
+			t.Fatalf("getslave: %v", err)
+		}
+		rr := wire.NewReader(body)
+		n := rr.Uvarint()
+		if n != 1 {
+			t.Fatalf("assigned %d slaves", n)
+		}
+		cert, err := pki.DecodeCertificate(rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cert.Verify(r.master.PublicKey()); err != nil {
+			t.Fatalf("slave cert: %v", err)
+		}
+		return cert.Addr
+	}
+	r.s.Go(func() {
+		first := ask(nil)
+		second := ask([]string{first})
+		if second == first {
+			t.Errorf("exclusion ignored: both = %s", first)
+		}
+	})
+	r.s.Run()
+}
+
+func addrOf(i int) string { return string(rune('a'+i)) + "-slave" }
+
+func TestMasterGetSlaveNoSlaves(t *testing.T) {
+	r := newMasterRig(t, nil)
+	var err error
+	r.s.Go(func() {
+		w := wire.NewWriter(64)
+		w.String_("c")
+		w.Bytes_(r.client.Public)
+		w.Uvarint(1)
+		w.StringSlice(nil)
+		_, err = r.master.Handle("client", MethodGetSlave, w.Bytes())
+	})
+	r.s.Run()
+	if err == nil || !strings.Contains(err.Error(), ErrNoSlaves.Error()) {
+		t.Fatalf("err = %v, want no-slaves", err)
+	}
+}
+
+func TestMasterUnknownMethod(t *testing.T) {
+	r := newMasterRig(t, nil)
+	if _, err := r.master.Handle("x", "m.nope", nil); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

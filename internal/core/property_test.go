@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// The two central evidence invariants from DESIGN.md §5:
+//
+//  1. no false accusation — an honest slave's pledge never verifies as a
+//     misbehaviour proof, for any query and any content;
+//  2. no escape — a pledge over a wrong result hash always verifies as a
+//     proof, for any corruption.
+
+func propContent(keys []uint8, vals [][]byte) *store.Store {
+	s := store.New()
+	n := len(keys)
+	if len(vals) < n {
+		n = len(vals)
+	}
+	for i := 0; i < n; i++ {
+		s.Apply(store.Put{Key: fmt.Sprintf("k%03d", keys[i]%64), Value: vals[i]})
+	}
+	return s
+}
+
+func propQuery(sel uint8, key uint8) query.Query {
+	k := fmt.Sprintf("k%03d", key%64)
+	switch sel % 5 {
+	case 0:
+		return query.Get{Key: k}
+	case 1:
+		return query.Range{From: "k", To: k, Limit: 8}
+	case 2:
+		return query.Count{P: "k"}
+	case 3:
+		return query.Sum{P: "k"}
+	default:
+		return query.Prefix{P: "k0", Limit: 16}
+	}
+}
+
+func TestQuickHonestPledgeNeverConvicts(t *testing.T) {
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	f := func(keys []uint8, vals [][]byte, sel, qk uint8) bool {
+		content := propContent(keys, vals)
+		q := propQuery(sel, qk)
+		res, err := q.Execute(content)
+		if err != nil {
+			return true // unexecutable queries are not pledged by honest slaves
+		}
+		stamp := SignStamp(master, content.Version(), time.Unix(0, 0).UTC())
+		p := SignPledge(slave, query.Encode(q), res.Digest(), stamp)
+		proven, _, err := CheckPledgeAgainst(content, &p)
+		return err == nil && !proven
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWrongHashAlwaysConvicts(t *testing.T) {
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	f := func(keys []uint8, vals [][]byte, sel, qk uint8, corrupt []byte) bool {
+		content := propContent(keys, vals)
+		q := propQuery(sel, qk)
+		res, err := q.Execute(content)
+		if err != nil {
+			return true
+		}
+		// A wrong hash: the digest of anything that is not the result.
+		wrong := cryptoutil.HashConcat([]byte("corruption"), res.Payload, corrupt)
+		if wrong.Equal(res.Digest()) {
+			return true // astronomically unlikely
+		}
+		stamp := SignStamp(master, content.Version(), time.Unix(0, 0).UTC())
+		p := SignPledge(slave, query.Encode(q), wrong, stamp)
+		proven, correct, err := CheckPledgeAgainst(content, &p)
+		return err == nil && proven && correct.Equal(res.Digest())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTamperedPledgeNeverVerifies(t *testing.T) {
+	// Any single-byte corruption of an encoded pledge must break either
+	// decoding or the slave signature — clients cannot frame slaves by
+	// fiddling bytes (§3.3).
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	stamp := SignStamp(master, 5, time.Unix(100, 0).UTC())
+	p := SignPledge(slave, query.Encode(query.Get{Key: "k"}),
+		cryptoutil.HashBytes([]byte("result")), stamp)
+	enc := EncodePledge(p)
+	f := func(pos uint16, bit uint8) bool {
+		mut := append([]byte(nil), enc...)
+		mut[int(pos)%len(mut)] ^= 1 << (bit % 8)
+		r := wire.NewReader(mut)
+		got, err := DecodePledge(r)
+		if err != nil || r.Done() != nil {
+			return true // decode failure: no pledge, no accusation
+		}
+		if got.VerifySig() != nil {
+			return true // signature broken: rejected
+		}
+		// Signature survived: the mutation must not have changed any
+		// signed field (it hit signature bytes in a way ed25519 rejects,
+		// or an unsigned region — there are none in a pledge).
+		return string(EncodePledge(got)) == string(enc) ||
+			bytesEqualPledge(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bytesEqualPledge(a, b Pledge) bool {
+	return string(a.QueryBytes) == string(b.QueryBytes) &&
+		a.ResultHash == b.ResultHash &&
+		a.Stamp.Version == b.Stamp.Version &&
+		string(a.SlavePub) == string(b.SlavePub)
+}
+
+func TestQuickStampRoundTripAndFreshness(t *testing.T) {
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	f := func(version uint64, unixSec int64, ageMs uint32, boundMs uint32) bool {
+		ts := time.Unix(unixSec%1e9, 0).UTC()
+		st := SignStamp(master, version, ts)
+		age := time.Duration(ageMs%600000) * time.Millisecond
+		bound := time.Duration(boundMs%600000) * time.Millisecond
+		now := ts.Add(age)
+		fresh := st.Fresh(now, bound)
+		return fresh == (age <= bound)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/query"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// SlaveStats counts a slave's activity; the harness reads them after a
+// run. All fields are monotone counters.
+type SlaveStats struct {
+	ReadsServed   uint64
+	ReadsLied     uint64
+	ReadsRefused  uint64 // refused because the slave's stamp was stale
+	UpdatesOK     uint64
+	UpdatesSynced uint64 // updates recovered via m.sync after a gap
+	KeepAlives    uint64
+}
+
+// SlaveConfig configures a slave server.
+type SlaveConfig struct {
+	Addr       string
+	Keys       *cryptoutil.KeyPair
+	Params     Params
+	MasterAddr string
+	// MasterPubs are the trusted master keys used to verify stamps.
+	MasterPubs []cryptoutil.PublicKey
+	// Behavior is Honest{} for a correct slave or a malicious model.
+	Behavior Behavior
+	// CPU, if non-nil, charges modelled service times (simulation).
+	CPU *sim.Resource
+	// Seed drives the behaviour model's randomness.
+	Seed int64
+}
+
+// Slave holds a copy of the content and executes read queries, returning
+// a signed pledge with every answer (§3.2). It applies state updates
+// pushed by its master strictly in version order and refuses reads when
+// its latest stamp is older than max_latency (§3.1: a correct slave
+// "should stop handling user requests until they are back in sync").
+type Slave struct {
+	cfg SlaveConfig
+	rt  sim.Runtime
+	dlr rpc.Dialer
+	rng *rand.Rand
+
+	mu        sync.Mutex
+	store     *store.Store
+	lastStamp VersionStamp
+	stats     SlaveStats
+}
+
+// NewSlave creates a slave over an initial content replica (cloned).
+func NewSlave(cfg SlaveConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.Store) *Slave {
+	if cfg.Behavior == nil {
+		cfg.Behavior = Honest{}
+	}
+	return &Slave{
+		cfg:   cfg,
+		rt:    rt,
+		dlr:   dlr,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		store: initial.Clone(),
+	}
+}
+
+// Stats returns a snapshot of the slave's counters.
+func (s *Slave) Stats() SlaveStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Version returns the slave replica's content version.
+func (s *Slave) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Version()
+}
+
+// Addr returns the slave's address.
+func (s *Slave) Addr() string { return s.cfg.Addr }
+
+// PublicKey returns the slave's public key.
+func (s *Slave) PublicKey() cryptoutil.PublicKey { return s.cfg.Keys.Public }
+
+// SetMaster repoints the slave at a new master (used after a master
+// crash, when survivors divide the dead master's slave set).
+func (s *Slave) SetMaster(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.MasterAddr = addr
+}
+
+// SetBehavior swaps the slave's behaviour model. It models §3.5 recovery:
+// a compromised slave restored "to a safe state" becomes Honest again
+// before being readmitted.
+func (s *Slave) SetBehavior(b Behavior) {
+	if b == nil {
+		b = Honest{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Behavior = b
+}
+
+// Bootstrap replaces the slave's replica with a verified full state
+// transfer from its master. Recovered or newly provisioned slaves call it
+// before (re)entering service; the snapshot is authenticated by a master
+// stamp over its bytes.
+func (s *Slave) Bootstrap() error {
+	s.mu.Lock()
+	masterAddr := s.cfg.MasterAddr
+	s.mu.Unlock()
+	body, err := s.dlr.CallTimeout(masterAddr, MethodSnapshot, nil, s.cfg.Params.ReadTimeout)
+	if err != nil {
+		return err
+	}
+	r := wire.NewReader(body)
+	snap := r.Bytes()
+	stamp, err := DecodeStamp(r)
+	if err != nil {
+		return err
+	}
+	fromAddr := r.String()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	if err := stamp.Verify(s.cfg.MasterPubs); err != nil {
+		return err
+	}
+	if !stamp.AuthenticatesOp(snap) {
+		return ErrBadStamp
+	}
+	st, err := store.DecodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	if st.Version() != stamp.Version {
+		return fmt.Errorf("core: snapshot version %d does not match stamp %d", st.Version(), stamp.Version)
+	}
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.HashCost(len(snap)))
+	s.mu.Lock()
+	s.store = st
+	s.lastStamp = stamp
+	if fromAddr != "" {
+		s.cfg.MasterAddr = fromAddr
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Handle routes the slave's RPC methods.
+func (s *Slave) Handle(from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case MethodUpdate:
+		return s.handleUpdate(from, body)
+	case MethodKeepAlive:
+		return s.handleKeepAlive(from, body)
+	case MethodRead:
+		return s.handleRead(body)
+	}
+	return nil, fmt.Errorf("core: slave: unknown method %q", method)
+}
+
+func (s *Slave) handleKeepAlive(from string, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	stamp, err := DecodeStamp(r)
+	if err != nil {
+		return nil, err
+	}
+	masterAddr := r.String()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if err := stamp.Verify(s.cfg.MasterPubs); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.KeepAlives++
+	// The keep-alive names its sending master; adopt it as our sync
+	// source (handles slave-set redistribution after a master crash). A
+	// spoofed address could at worst stall syncs — synced ops themselves
+	// verify against master-signed stamps.
+	if masterAddr != "" {
+		s.cfg.MasterAddr = masterAddr
+	}
+	if stamp.Timestamp.After(s.lastStamp.Timestamp) && stamp.Version >= s.lastStamp.Version {
+		s.lastStamp = stamp
+	}
+	// A keep-alive for a version ahead of the replica means updates were
+	// lost; recover them in the background.
+	if stamp.Version > s.store.Version() {
+		s.rt.Spawn(func() { s.syncFrom(s.cfg.MasterAddr) })
+	}
+	return nil, nil
+}
+
+func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	version := r.Uvarint()
+	opBytes := r.Bytes()
+	stamp, err := DecodeStamp(r)
+	if err != nil {
+		return nil, err
+	}
+	masterAddr := r.String()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if err := stamp.Verify(s.cfg.MasterPubs); err != nil {
+		return nil, err
+	}
+	// The stamp must authorize exactly this operation at this version.
+	if stamp.Version != version || !stamp.AuthenticatesOp(opBytes) {
+		return nil, ErrBadStamp
+	}
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
+	if masterAddr != "" {
+		s.mu.Lock()
+		s.cfg.MasterAddr = masterAddr
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	cur := s.store.Version()
+	s.mu.Unlock()
+	switch {
+	case version <= cur:
+		// Duplicate delivery; still take the fresher stamp.
+	case version == cur+1:
+		op, err := store.DecodeOp(opBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if err := s.store.ApplyAt(version, op); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		s.stats.UpdatesOK++
+		s.mu.Unlock()
+	default:
+		// Gap: recover the missing range from the master first.
+		if err := s.syncFrom(s.cfg.MasterAddr); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	if stamp.Timestamp.After(s.lastStamp.Timestamp) && stamp.Version >= s.lastStamp.Version {
+		s.lastStamp = stamp
+	}
+	s.mu.Unlock()
+	return nil, nil
+}
+
+// syncFrom pulls all updates the replica is missing from a master
+// (MethodSync) and applies them in order.
+func (s *Slave) syncFrom(masterAddr string) error {
+	s.mu.Lock()
+	from := s.store.Version() + 1
+	s.mu.Unlock()
+	w := wire.NewWriter(16)
+	w.Uvarint(from)
+	body, err := s.dlr.CallTimeout(masterAddr, MethodSync, w.Bytes(), s.cfg.Params.ReadTimeout)
+	if err != nil {
+		return err
+	}
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	type upd struct {
+		version uint64
+		op      store.Op
+	}
+	updates := make([]upd, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v := r.Uvarint()
+		opBytes := r.Bytes()
+		opStamp, err := DecodeStamp(r)
+		if err != nil {
+			return err
+		}
+		// Each replayed op must carry the master's original update stamp.
+		if err := opStamp.Verify(s.cfg.MasterPubs); err != nil {
+			return err
+		}
+		if opStamp.Version != v || !opStamp.AuthenticatesOp(opBytes) {
+			return ErrBadStamp
+		}
+		op, err := store.DecodeOp(opBytes)
+		if err != nil {
+			return err
+		}
+		updates = append(updates, upd{v, op})
+	}
+	stamp, err := DecodeStamp(r)
+	if err != nil {
+		return err
+	}
+	if err := stamp.Verify(s.cfg.MasterPubs); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range updates {
+		if u.version != s.store.Version()+1 {
+			continue // concurrent sync already applied it
+		}
+		if err := s.store.ApplyAt(u.version, u.op); err != nil {
+			return err
+		}
+		s.stats.UpdatesSynced++
+	}
+	if stamp.Timestamp.After(s.lastStamp.Timestamp) && stamp.Version >= s.lastStamp.Version {
+		s.lastStamp = stamp
+	}
+	return nil
+}
+
+// ReadReply is the slave's answer to a read: the result payload plus the
+// signed pledge. XLie is experiment instrumentation only — it records the
+// ground truth of whether this answer was falsified so the harness can
+// measure undetected-lie rates; it is not part of any signature and no
+// protocol decision may depend on it.
+type ReadReply struct {
+	Payload []byte
+	Pledge  Pledge
+	XLie    bool
+}
+
+// EncodeReadReply serializes a reply.
+func EncodeReadReply(rr ReadReply) []byte {
+	w := wire.NewWriter(len(rr.Payload) + 256)
+	w.Bytes_(rr.Payload)
+	rr.Pledge.Encode(w)
+	w.Bool(rr.XLie)
+	return w.Bytes()
+}
+
+// DecodeReadReply parses a reply.
+func DecodeReadReply(b []byte) (ReadReply, error) {
+	r := wire.NewReader(b)
+	var rr ReadReply
+	rr.Payload = r.Bytes()
+	var err error
+	rr.Pledge, err = DecodePledge(r)
+	if err != nil {
+		return rr, err
+	}
+	rr.XLie = r.Bool()
+	if err := r.Done(); err != nil {
+		return rr, err
+	}
+	return rr, nil
+}
+
+func (s *Slave) handleRead(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	queryBytes := r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	stamp := s.lastStamp
+	storeVersion := s.store.Version()
+	s.mu.Unlock()
+	// §3.1: a slave may handle requests only while its most recent
+	// keep-alive is younger than max_latency. The stamp must also match
+	// the replica's version exactly: pledging version v for a result
+	// computed at version v' != v would make an honest slave provably
+	// "malicious" at audit time.
+	if stamp.Sig == nil || stamp.Version != storeVersion ||
+		!stamp.Fresh(s.rt.Now(), s.cfg.Params.MaxLatency) {
+		s.mu.Lock()
+		s.stats.ReadsRefused++
+		s.mu.Unlock()
+		return nil, ErrStale
+	}
+
+	q, err := query.Decode(queryBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	replica := s.store
+	res, err := q.Execute(replica)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.QueryCost(res.Scanned))
+
+	payload := res.Payload
+	lied := false
+	if corrupted := s.cfg.Behavior.Corrupt(queryBytes, payload, s.rng); corrupted != nil {
+		payload = corrupted
+		lied = true
+	}
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.HashCost(len(payload)))
+	hash := cryptoutil.HashBytes(payload)
+
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.Sign)
+	pledge := SignPledge(s.cfg.Keys, queryBytes, hash, stamp)
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.SendReply)
+
+	s.mu.Lock()
+	s.stats.ReadsServed++
+	if lied {
+		s.stats.ReadsLied++
+	}
+	s.mu.Unlock()
+	return EncodeReadReply(ReadReply{Payload: payload, Pledge: pledge, XLie: lied}), nil
+}

@@ -1,0 +1,303 @@
+// Package core implements the paper's replication protocol: trusted
+// master servers that order and execute writes, marginally trusted slave
+// servers that execute arbitrary read queries under signed "pledges",
+// clients that probabilistically double-check answers against masters,
+// and a background auditor that re-executes every pledged read so any
+// slave returning a wrong answer is eventually caught red-handed and
+// excluded from the system (§3).
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Errors shared across the protocol.
+var (
+	ErrBadStamp     = errors.New("core: version stamp signature invalid")
+	ErrBadPledge    = errors.New("core: pledge signature invalid")
+	ErrStale        = errors.New("core: content version stamp is stale")
+	ErrHashMismatch = errors.New("core: result hash does not match pledge")
+	ErrNotProven    = errors.New("core: reported pledge is not a valid misbehaviour proof")
+	ErrDenied       = errors.New("core: write denied by access control policy")
+	ErrThrottled    = errors.New("core: double-check throttled (greedy client suspected)")
+	ErrNoSlaves     = errors.New("core: master has no slaves available")
+)
+
+// VersionStamp is the signed, time-stamped content version that masters
+// attach to slave updates and keep-alive packets (§3.1). Slaves embed the
+// latest stamp in every pledge; clients use its timestamp to bound
+// staleness by max_latency.
+//
+// For update stamps, OpDigest binds the write's encoded operation to the
+// stamp so a replica applies only master-authorized ops even over an
+// unauthenticated transport; keep-alive stamps carry a zero digest.
+type VersionStamp struct {
+	Version   uint64
+	Timestamp time.Time
+	OpDigest  cryptoutil.Digest
+	MasterPub cryptoutil.PublicKey
+	Sig       []byte
+}
+
+func (v *VersionStamp) signedBytes() []byte {
+	w := wire.NewWriter(64)
+	w.String_("vstamp.v1")
+	w.Uvarint(v.Version)
+	w.Time(v.Timestamp)
+	w.Bytes_(v.OpDigest[:])
+	w.Bytes_(v.MasterPub)
+	return w.Bytes()
+}
+
+// SignStamp creates a keep-alive stamp for (version, ts) under the
+// master's key.
+func SignStamp(master *cryptoutil.KeyPair, version uint64, ts time.Time) VersionStamp {
+	v := VersionStamp{Version: version, Timestamp: ts, MasterPub: master.Public}
+	v.Sig = master.Sign(v.signedBytes())
+	return v
+}
+
+// SignStampWithOp creates an update stamp that additionally authenticates
+// the encoded operation producing this version.
+func SignStampWithOp(master *cryptoutil.KeyPair, version uint64, ts time.Time, opBytes []byte) VersionStamp {
+	v := VersionStamp{
+		Version: version, Timestamp: ts,
+		OpDigest:  cryptoutil.HashBytes(opBytes),
+		MasterPub: master.Public,
+	}
+	v.Sig = master.Sign(v.signedBytes())
+	return v
+}
+
+// AuthenticatesOp reports whether the stamp's digest matches opBytes.
+func (v *VersionStamp) AuthenticatesOp(opBytes []byte) bool {
+	return v.OpDigest.Equal(cryptoutil.HashBytes(opBytes))
+}
+
+// Verify checks the stamp against a set of trusted master keys.
+func (v *VersionStamp) Verify(trustedMasters []cryptoutil.PublicKey) error {
+	for _, pub := range trustedMasters {
+		if bytes.Equal(pub, v.MasterPub) {
+			if err := cryptoutil.Verify(v.MasterPub, v.signedBytes(), v.Sig); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadStamp, err)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: unknown master key", ErrBadStamp)
+}
+
+// Fresh reports whether the stamp is younger than maxLatency at time now
+// (§3.2: "the client makes sure the time-stamp is not older than
+// max_latency").
+func (v *VersionStamp) Fresh(now time.Time, maxLatency time.Duration) bool {
+	return now.Sub(v.Timestamp) <= maxLatency
+}
+
+// Encode appends the stamp to w.
+func (v *VersionStamp) Encode(w *wire.Writer) {
+	w.Uvarint(v.Version)
+	w.Time(v.Timestamp)
+	w.Bytes_(v.OpDigest[:])
+	w.Bytes_(v.MasterPub)
+	w.Bytes_(v.Sig)
+}
+
+// DecodeStamp reads a stamp from r.
+func DecodeStamp(r *wire.Reader) (VersionStamp, error) {
+	var v VersionStamp
+	v.Version = r.Uvarint()
+	v.Timestamp = r.Time()
+	d := r.Bytes()
+	if len(d) == cryptoutil.DigestSize {
+		copy(v.OpDigest[:], d)
+	} else if r.Err() == nil {
+		return v, fmt.Errorf("core: bad op digest length %d", len(d))
+	}
+	v.MasterPub = cryptoutil.PublicKey(r.Bytes())
+	v.Sig = r.Bytes()
+	return v, r.Err()
+}
+
+// Pledge is the signed packet a slave returns with every read (§3.2): a
+// copy of the request, the secure hash of the result, and the latest
+// time-stamped content version received from a master. If the slave lied
+// about the result, the pledge is an irrefutable proof of dishonesty
+// (§3.3); and because only the slave can produce its signature, a client
+// cannot frame an innocent slave.
+type Pledge struct {
+	QueryBytes []byte // encoded query (the "copy of the request")
+	ResultHash cryptoutil.Digest
+	Stamp      VersionStamp
+	SlavePub   cryptoutil.PublicKey
+	Sig        []byte
+}
+
+func (p *Pledge) signedBytes() []byte {
+	w := wire.NewWriter(128)
+	w.String_("pledge.v1")
+	w.Bytes_(p.QueryBytes)
+	w.Bytes_(p.ResultHash[:])
+	p.Stamp.Encode(w) // includes the master signature: binds exact stamp
+	w.Bytes_(p.SlavePub)
+	return w.Bytes()
+}
+
+// SignPledge builds and signs a pledge over (query, result hash, stamp).
+func SignPledge(slave *cryptoutil.KeyPair, queryBytes []byte, resultHash cryptoutil.Digest, stamp VersionStamp) Pledge {
+	p := Pledge{
+		QueryBytes: queryBytes,
+		ResultHash: resultHash,
+		Stamp:      stamp,
+		SlavePub:   slave.Public,
+	}
+	p.Sig = slave.Sign(p.signedBytes())
+	return p
+}
+
+// VerifySig checks the slave's signature on the pledge.
+func (p *Pledge) VerifySig() error {
+	if err := cryptoutil.Verify(p.SlavePub, p.signedBytes(), p.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPledge, err)
+	}
+	return nil
+}
+
+// Encode appends the pledge to w.
+func (p *Pledge) Encode(w *wire.Writer) {
+	w.Bytes_(p.QueryBytes)
+	w.Bytes_(p.ResultHash[:])
+	p.Stamp.Encode(w)
+	w.Bytes_(p.SlavePub)
+	w.Bytes_(p.Sig)
+}
+
+// EncodePledge serializes a pledge to a fresh byte slice.
+func EncodePledge(p Pledge) []byte {
+	w := wire.NewWriter(256)
+	p.Encode(w)
+	return w.Bytes()
+}
+
+// DecodePledge reads a pledge from r.
+func DecodePledge(r *wire.Reader) (Pledge, error) {
+	var p Pledge
+	p.QueryBytes = r.Bytes()
+	h := r.Bytes()
+	if len(h) == cryptoutil.DigestSize {
+		copy(p.ResultHash[:], h)
+	} else if r.Err() == nil {
+		return p, fmt.Errorf("core: bad result hash length %d", len(h))
+	}
+	var err error
+	p.Stamp, err = DecodeStamp(r)
+	if err != nil {
+		return p, err
+	}
+	p.SlavePub = cryptoutil.PublicKey(r.Bytes())
+	p.Sig = r.Bytes()
+	return p, r.Err()
+}
+
+// CheckPledgeAgainst re-executes the pledged query on a replica that is
+// at the pledge's content version and reports whether the pledge is a
+// valid misbehaviour proof: signature valid but result hash wrong.
+// It returns (proven, correctHash, error). An execution error on a
+// malformed query also proves misbehaviour by an honest-executor
+// standard: an honest slave would have returned the same error, not a
+// signed result.
+func CheckPledgeAgainst(replica *store.Store, p *Pledge) (bool, cryptoutil.Digest, error) {
+	if err := p.VerifySig(); err != nil {
+		return false, cryptoutil.Digest{}, err
+	}
+	if replica.Version() != p.Stamp.Version {
+		return false, cryptoutil.Digest{}, fmt.Errorf(
+			"core: replica at version %d cannot check pledge for version %d",
+			replica.Version(), p.Stamp.Version)
+	}
+	q, err := query.Decode(p.QueryBytes)
+	if err != nil {
+		return true, cryptoutil.Digest{}, nil // signed garbage query: proof
+	}
+	res, err := q.Execute(replica)
+	if err != nil {
+		return true, cryptoutil.Digest{}, nil // signed unexecutable query
+	}
+	correct := res.Digest()
+	return !correct.Equal(p.ResultHash), correct, nil
+}
+
+// WriteRequest is a client-signed request to modify the content. Masters
+// check the signature and the access-control policy (§3.1: the master
+// "first checks whether the client is allowed to invoke such a request").
+type WriteRequest struct {
+	OpBytes   []byte
+	ClientPub cryptoutil.PublicKey
+	Sig       []byte
+}
+
+func (wr *WriteRequest) signedBytes() []byte {
+	w := wire.NewWriter(64)
+	w.String_("write.v1")
+	w.Bytes_(wr.OpBytes)
+	w.Bytes_(wr.ClientPub)
+	return w.Bytes()
+}
+
+// SignWrite builds a write request for op under the client's key.
+func SignWrite(client *cryptoutil.KeyPair, op store.Op) WriteRequest {
+	wr := WriteRequest{OpBytes: store.EncodeOp(op), ClientPub: client.Public}
+	wr.Sig = client.Sign(wr.signedBytes())
+	return wr
+}
+
+// VerifySig checks the client's signature.
+func (wr *WriteRequest) VerifySig() error {
+	return cryptoutil.Verify(wr.ClientPub, wr.signedBytes(), wr.Sig)
+}
+
+// Encode appends the write request to w.
+func (wr *WriteRequest) Encode(w *wire.Writer) {
+	w.Bytes_(wr.OpBytes)
+	w.Bytes_(wr.ClientPub)
+	w.Bytes_(wr.Sig)
+}
+
+// DecodeWriteRequest reads a write request from r.
+func DecodeWriteRequest(r *wire.Reader) (WriteRequest, error) {
+	var wr WriteRequest
+	wr.OpBytes = r.Bytes()
+	wr.ClientPub = cryptoutil.PublicKey(r.Bytes())
+	wr.Sig = r.Bytes()
+	return wr, r.Err()
+}
+
+// ACL is the content owner's write access policy: the set of client keys
+// allowed to modify the content (§2: the policy "is only concerned with
+// operations that modify the content").
+type ACL struct {
+	allowed map[string]bool
+}
+
+// NewACL builds a policy allowing exactly the given client keys.
+func NewACL(clients ...cryptoutil.PublicKey) *ACL {
+	a := &ACL{allowed: make(map[string]bool, len(clients))}
+	for _, c := range clients {
+		a.allowed[string(c)] = true
+	}
+	return a
+}
+
+// Allow adds a client key to the policy.
+func (a *ACL) Allow(pub cryptoutil.PublicKey) { a.allowed[string(pub)] = true }
+
+// Permits reports whether pub may write.
+func (a *ACL) Permits(pub cryptoutil.PublicKey) bool { return a.allowed[string(pub)] }

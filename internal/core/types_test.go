@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+func TestStampSignVerifyFresh(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	ts := time.Unix(1000, 0).UTC()
+	st := SignStamp(m, 7, ts)
+	if err := st.Verify([]cryptoutil.PublicKey{m.Public}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !st.Fresh(ts.Add(time.Second), 2*time.Second) {
+		t.Fatal("should be fresh")
+	}
+	if st.Fresh(ts.Add(3*time.Second), 2*time.Second) {
+		t.Fatal("should be stale")
+	}
+}
+
+func TestStampRejectsUnknownMaster(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	other := cryptoutil.DeriveKeyPair("other", 0)
+	st := SignStamp(m, 1, time.Unix(0, 0))
+	if err := st.Verify([]cryptoutil.PublicKey{other.Public}); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+}
+
+func TestStampRejectsTampering(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	st := SignStamp(m, 1, time.Unix(0, 0))
+	st.Version = 2
+	if err := st.Verify([]cryptoutil.PublicKey{m.Public}); err == nil {
+		t.Fatal("tampered version accepted")
+	}
+}
+
+func TestStampCodec(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	st := SignStamp(m, 42, time.Unix(7, 3).UTC())
+	w := wire.NewWriter(0)
+	st.Encode(w)
+	r := wire.NewReader(w.Bytes())
+	got, err := DecodeStamp(r)
+	if err != nil || r.Done() != nil {
+		t.Fatalf("decode: %v/%v", err, r.Done())
+	}
+	if err := got.Verify([]cryptoutil.PublicKey{m.Public}); err != nil {
+		t.Fatalf("decoded stamp invalid: %v", err)
+	}
+	if got.Version != 42 {
+		t.Fatalf("version = %d", got.Version)
+	}
+}
+
+func TestPledgeSignVerifyCodec(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	s := cryptoutil.DeriveKeyPair("slave", 0)
+	st := SignStamp(m, 3, time.Unix(50, 0).UTC())
+	qb := query.Encode(query.Get{Key: "k"})
+	h := cryptoutil.HashBytes([]byte("result"))
+	p := SignPledge(s, qb, h, st)
+	if err := p.VerifySig(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	r := wire.NewReader(EncodePledge(p))
+	got, err := DecodePledge(r)
+	if err != nil || r.Done() != nil {
+		t.Fatalf("decode: %v/%v", err, r.Done())
+	}
+	if err := got.VerifySig(); err != nil {
+		t.Fatalf("decoded pledge invalid: %v", err)
+	}
+}
+
+func TestPledgeCannotFrameSlave(t *testing.T) {
+	// §3.3: a client cannot frame an innocent slave — any modification of
+	// the pledge breaks the slave's signature.
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	s := cryptoutil.DeriveKeyPair("slave", 0)
+	st := SignStamp(m, 1, time.Unix(0, 0).UTC())
+	qb := query.Encode(query.Get{Key: "price"})
+	honest := cryptoutil.HashBytes([]byte("100"))
+	p := SignPledge(s, qb, honest, st)
+
+	forged := p
+	forged.ResultHash = cryptoutil.HashBytes([]byte("999"))
+	if err := forged.VerifySig(); err == nil {
+		t.Fatal("forged hash verified — slave could be framed")
+	}
+	forged2 := p
+	forged2.QueryBytes = query.Encode(query.Get{Key: "other"})
+	if err := forged2.VerifySig(); err == nil {
+		t.Fatal("forged query verified")
+	}
+	forged3 := p
+	forged3.Stamp = SignStamp(m, 9, time.Unix(1, 0).UTC())
+	if err := forged3.VerifySig(); err == nil {
+		t.Fatal("forged stamp verified")
+	}
+}
+
+func TestCheckPledgeAgainstHonestAndLie(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	sl := cryptoutil.DeriveKeyPair("slave", 0)
+	st := store.New()
+	st.Apply(store.Put{Key: "k", Value: []byte("v")})
+	stamp := SignStamp(m, st.Version(), time.Unix(0, 0).UTC())
+	q := query.Get{Key: "k"}
+	qb := query.Encode(q)
+	res, _ := q.Execute(st)
+
+	honest := SignPledge(sl, qb, res.Digest(), stamp)
+	proven, _, err := CheckPledgeAgainst(st, &honest)
+	if err != nil || proven {
+		t.Fatalf("honest pledge flagged: proven=%v err=%v", proven, err)
+	}
+
+	lie := SignPledge(sl, qb, cryptoutil.HashBytes([]byte("lie")), stamp)
+	proven, correct, err := CheckPledgeAgainst(st, &lie)
+	if err != nil || !proven {
+		t.Fatalf("lie not proven: proven=%v err=%v", proven, err)
+	}
+	if !correct.Equal(res.Digest()) {
+		t.Fatal("correct hash mismatch")
+	}
+}
+
+func TestCheckPledgeVersionMismatch(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	sl := cryptoutil.DeriveKeyPair("slave", 0)
+	st := store.New()
+	stamp := SignStamp(m, 5, time.Unix(0, 0).UTC()) // store is at 0
+	p := SignPledge(sl, query.Encode(query.Get{Key: "k"}), cryptoutil.Digest{}, stamp)
+	if _, _, err := CheckPledgeAgainst(st, &p); err == nil {
+		t.Fatal("version mismatch not detected")
+	}
+}
+
+func TestCheckPledgeGarbageQueryIsProof(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	sl := cryptoutil.DeriveKeyPair("slave", 0)
+	st := store.New()
+	stamp := SignStamp(m, 0, time.Unix(0, 0).UTC())
+	p := SignPledge(sl, []byte{0xff, 0xfe}, cryptoutil.Digest{}, stamp)
+	proven, _, err := CheckPledgeAgainst(st, &p)
+	if err != nil || !proven {
+		t.Fatalf("garbage query not proof: %v/%v", proven, err)
+	}
+}
+
+func TestWriteRequestSignVerify(t *testing.T) {
+	c := cryptoutil.DeriveKeyPair("client", 0)
+	wr := SignWrite(c, store.Put{Key: "k", Value: []byte("v")})
+	if err := wr.VerifySig(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	wr.OpBytes = store.EncodeOp(store.Delete{Key: "k"})
+	if err := wr.VerifySig(); err == nil {
+		t.Fatal("tampered op accepted")
+	}
+}
+
+func TestWriteRequestCodec(t *testing.T) {
+	c := cryptoutil.DeriveKeyPair("client", 0)
+	wr := SignWrite(c, store.Append{Key: "log", Data: []byte("x")})
+	w := wire.NewWriter(0)
+	wr.Encode(w)
+	r := wire.NewReader(w.Bytes())
+	got, err := DecodeWriteRequest(r)
+	if err != nil || r.Done() != nil {
+		t.Fatalf("decode: %v/%v", err, r.Done())
+	}
+	if err := got.VerifySig(); err != nil {
+		t.Fatalf("decoded request invalid: %v", err)
+	}
+}
+
+func TestACL(t *testing.T) {
+	a := cryptoutil.DeriveKeyPair("a", 0)
+	b := cryptoutil.DeriveKeyPair("b", 0)
+	acl := NewACL(a.Public)
+	if !acl.Permits(a.Public) {
+		t.Fatal("allowed key denied")
+	}
+	if acl.Permits(b.Public) {
+		t.Fatal("unknown key permitted")
+	}
+	acl.Allow(b.Public)
+	if !acl.Permits(b.Public) {
+		t.Fatal("Allow did not take effect")
+	}
+}
+
+func TestBehaviorModels(t *testing.T) {
+	payload := []byte("truth")
+	qb := []byte("query")
+	if (Honest{}).Corrupt(qb, payload, nil) != nil {
+		t.Fatal("honest corrupted")
+	}
+	out := AlwaysLie{}.Corrupt(qb, payload, nil)
+	if out == nil || string(out) == string(payload) {
+		t.Fatal("always-lie did not corrupt")
+	}
+	if !cryptoutil.HashBytes(out).Equal(cryptoutil.HashBytes(AlwaysLie{}.Corrupt(qb, payload, nil))) {
+		t.Fatal("corruption not deterministic (collusion would fail)")
+	}
+}
+
+func TestTargetedLieFraction(t *testing.T) {
+	tl := TargetedLie{TargetFrac: 0.3}
+	lied := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		qb := query.Encode(query.Get{Key: string(rune(i))})
+		if tl.Corrupt(qb, []byte("p"), nil) != nil {
+			lied++
+		}
+	}
+	frac := float64(lied) / n
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("targeted fraction = %v, want ~0.3", frac)
+	}
+	// Determinism: the same query is always targeted or never.
+	qb := query.Encode(query.Get{Key: "fixed"})
+	first := tl.Corrupt(qb, []byte("p"), nil) != nil
+	for i := 0; i < 10; i++ {
+		if (tl.Corrupt(qb, []byte("p"), nil) != nil) != first {
+			t.Fatal("targeting not deterministic")
+		}
+	}
+}
+
+func TestQuickPledgeRoundTrip(t *testing.T) {
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	s := cryptoutil.DeriveKeyPair("slave", 0)
+	f := func(qb []byte, version uint64, unix int64) bool {
+		st := SignStamp(m, version, time.Unix(unix%1e9, 0).UTC())
+		p := SignPledge(s, qb, cryptoutil.HashBytes(qb), st)
+		r := wire.NewReader(EncodePledge(p))
+		got, err := DecodePledge(r)
+		if err != nil || r.Done() != nil {
+			return false
+		}
+		return got.VerifySig() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyTrackerFlagsAbuser(t *testing.T) {
+	p := DefaultParams()
+	g := newGreedyTracker(p)
+	now := time.Unix(0, 0)
+	// 5 fair clients at ~1 check per tick, 1 abuser at 20 per tick.
+	flagged := false
+	for tick := 0; tick < 30; tick++ {
+		now = now.Add(time.Second)
+		for c := 0; c < 5; c++ {
+			g.record(string(rune('a'+c)), now)
+		}
+		for j := 0; j < 20; j++ {
+			if g.record("abuser", now) {
+				flagged = true
+			}
+		}
+	}
+	if !flagged {
+		t.Fatal("abuser never flagged")
+	}
+	if g.isFlagged("a") {
+		t.Fatal("fair client flagged")
+	}
+}
+
+func TestGreedyTrackerWindowExpiry(t *testing.T) {
+	p := DefaultParams()
+	p.GreedyWindow = 10 * time.Second
+	g := newGreedyTracker(p)
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		g.record("c", now)
+		g.record("d", now)
+	}
+	// Far in the future, a single record should not be flagged.
+	now = now.Add(time.Hour)
+	if g.record("c", now) {
+		t.Fatal("stale window entries still counted")
+	}
+}

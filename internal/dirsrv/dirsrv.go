@@ -1,0 +1,178 @@
+// Package dirsrv exposes the public directory (§2) over RPC so that real
+// (TCP) deployments have the same setup path as simulations: clients and
+// masters reach the directory by address and everything they receive is
+// verifiable against the content key.
+package dirsrv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Method names served by Server.Handle.
+const (
+	MethodMasters   = "d.masters"
+	MethodPublish   = "d.publish"
+	MethodWithdraw  = "d.withdraw"
+	MethodExclude   = "d.exclude"
+	MethodExcluded  = "d.excluded"
+	MethodReinstate = "d.reinstate"
+)
+
+// Server serves one content's directory entries.
+type Server struct {
+	Dir        *pki.Directory
+	ContentKey cryptoutil.PublicKey
+}
+
+// NewServer creates a directory server for the content key.
+func NewServer(contentKey cryptoutil.PublicKey) *Server {
+	return &Server{Dir: pki.NewDirectory(), ContentKey: contentKey}
+}
+
+// Handle routes the directory RPC methods.
+func (s *Server) Handle(from, method string, body []byte) ([]byte, error) {
+	switch method {
+	case MethodMasters:
+		certs, err := s.Dir.VerifiedMasters(s.ContentKey)
+		if err != nil {
+			return nil, err
+		}
+		w := wire.NewWriter(512)
+		w.Uvarint(uint64(len(certs)))
+		for _, c := range certs {
+			c.Encode(w)
+		}
+		return w.Bytes(), nil
+
+	case MethodPublish:
+		r := wire.NewReader(body)
+		cert, err := pki.DecodeCertificate(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		// Only certificates verifiable under the content key are stored;
+		// the directory is untrusted but need not store garbage.
+		if cert.Role == pki.RoleMaster && cert.Verify(s.ContentKey) != nil {
+			return nil, fmt.Errorf("dirsrv: master certificate does not verify")
+		}
+		s.Dir.Publish(s.ContentKey, cert)
+		return nil, nil
+
+	case MethodWithdraw:
+		r := wire.NewReader(body)
+		subject := cryptoutil.PublicKey(r.Bytes())
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		s.Dir.Withdraw(s.ContentKey, subject)
+		return nil, nil
+
+	case MethodExclude:
+		r := wire.NewReader(body)
+		excl, err := pki.DecodeExclusion(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		s.Dir.RecordExclusion(s.ContentKey, excl)
+		return nil, nil
+
+	case MethodExcluded:
+		r := wire.NewReader(body)
+		subject := cryptoutil.PublicKey(r.Bytes())
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		w := wire.NewWriter(1)
+		w.Bool(s.Dir.IsExcluded(s.ContentKey, subject))
+		return w.Bytes(), nil
+
+	case MethodReinstate:
+		r := wire.NewReader(body)
+		subject := cryptoutil.PublicKey(r.Bytes())
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		s.Dir.ClearExclusion(s.ContentKey, subject)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("dirsrv: unknown method %q", method)
+}
+
+// Client implements core.DirectoryService against a remote directory.
+type Client struct {
+	Addr   string
+	Dialer rpc.Dialer
+}
+
+var _ core.DirectoryService = (*Client)(nil)
+
+// VerifiedMasters implements core.DirectoryService.
+func (c *Client) VerifiedMasters() ([]pki.Certificate, error) {
+	body, err := c.Dialer.Call(c.Addr, MethodMasters, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	certs := make([]pki.Certificate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		cert, err := pki.DecodeCertificate(r)
+		if err != nil {
+			return nil, err
+		}
+		certs = append(certs, cert)
+	}
+	return certs, r.Done()
+}
+
+// Publish implements core.DirectoryService.
+func (c *Client) Publish(cert pki.Certificate) {
+	w := wire.NewWriter(512)
+	cert.Encode(w)
+	c.Dialer.Call(c.Addr, MethodPublish, w.Bytes())
+}
+
+// Withdraw implements core.DirectoryService.
+func (c *Client) Withdraw(subject cryptoutil.PublicKey) {
+	w := wire.NewWriter(64)
+	w.Bytes_(subject)
+	c.Dialer.Call(c.Addr, MethodWithdraw, w.Bytes())
+}
+
+// RecordExclusion implements core.DirectoryService.
+func (c *Client) RecordExclusion(e pki.Exclusion) {
+	w := wire.NewWriter(512)
+	e.Encode(w)
+	c.Dialer.Call(c.Addr, MethodExclude, w.Bytes())
+}
+
+// IsExcluded implements core.DirectoryService.
+func (c *Client) IsExcluded(subject cryptoutil.PublicKey) bool {
+	w := wire.NewWriter(64)
+	w.Bytes_(subject)
+	body, err := c.Dialer.Call(c.Addr, MethodExcluded, w.Bytes())
+	if err != nil {
+		return false
+	}
+	r := wire.NewReader(body)
+	return r.Bool()
+}
+
+// ClearExclusion implements core.DirectoryService.
+func (c *Client) ClearExclusion(subject cryptoutil.PublicKey) {
+	w := wire.NewWriter(64)
+	w.Bytes_(subject)
+	c.Dialer.Call(c.Addr, MethodReinstate, w.Bytes())
+}

@@ -1,0 +1,118 @@
+package dirsrv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+func rig(t *testing.T) (*sim.Sim, *Server, *Client, *cryptoutil.KeyPair) {
+	t.Helper()
+	s := sim.New(1)
+	net := rpc.NewSimNet(s, sim.Const(time.Millisecond))
+	owner := cryptoutil.DeriveKeyPair("owner", 0)
+	srv := NewServer(owner.Public)
+	net.Register("dir", srv.Handle)
+	cl := &Client{Addr: "dir", Dialer: net.Dialer("client")}
+	return s, srv, cl, owner
+}
+
+func TestPublishLookupRoundTrip(t *testing.T) {
+	s, _, cl, owner := rig(t)
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: m.Public}
+	cert.Sign(owner)
+	var got []pki.Certificate
+	s.Go(func() {
+		cl.Publish(cert)
+		var err error
+		got, err = cl.VerifiedMasters()
+		if err != nil {
+			t.Errorf("lookup: %v", err)
+		}
+	})
+	s.Run()
+	if len(got) != 1 || got[0].Addr != "m0" {
+		t.Fatalf("masters = %+v", got)
+	}
+	if got[0].Verify(owner.Public) != nil {
+		t.Fatal("returned cert does not verify")
+	}
+}
+
+func TestPublishRejectsForgedMasterCert(t *testing.T) {
+	s, srv, cl, _ := rig(t)
+	evil := cryptoutil.DeriveKeyPair("evil", 0)
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "evil", Subject: evil.Public}
+	cert.Sign(evil)
+	s.Go(func() { cl.Publish(cert) })
+	s.Run()
+	if _, err := srv.Dir.Lookup(srv.ContentKey); err == nil {
+		t.Fatal("forged cert stored")
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	s, _, cl, owner := rig(t)
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: m.Public}
+	cert.Sign(owner)
+	var err error
+	s.Go(func() {
+		cl.Publish(cert)
+		cl.Withdraw(m.Public)
+		_, err = cl.VerifiedMasters()
+	})
+	s.Run()
+	if err == nil {
+		t.Fatal("masters remained after withdraw")
+	}
+}
+
+func TestExclusionRoundTrip(t *testing.T) {
+	s, _, cl, _ := rig(t)
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	e := pki.Exclusion{Subject: slave.Public, Reason: "lied"}
+	e.Sign(master)
+	var before, after bool
+	s.Go(func() {
+		before = cl.IsExcluded(slave.Public)
+		cl.RecordExclusion(e)
+		after = cl.IsExcluded(slave.Public)
+	})
+	s.Run()
+	if before || !after {
+		t.Fatalf("exclusion: before=%v after=%v", before, after)
+	}
+}
+
+func TestReinstateClearsExclusion(t *testing.T) {
+	s, _, cl, _ := rig(t)
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	e := pki.Exclusion{Subject: slave.Public, Reason: "lied"}
+	e.Sign(master)
+	var excluded, reinstated bool
+	s.Go(func() {
+		cl.RecordExclusion(e)
+		excluded = cl.IsExcluded(slave.Public)
+		cl.ClearExclusion(slave.Public)
+		reinstated = !cl.IsExcluded(slave.Public)
+	})
+	s.Run()
+	if !excluded || !reinstated {
+		t.Fatalf("excluded=%v reinstated=%v", excluded, reinstated)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, srv, _, _ := rig(t)
+	if _, err := srv.Handle("x", "d.nope", nil); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

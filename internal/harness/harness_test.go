@@ -1,0 +1,340 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func TestScenarioBootsAndConverges(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.Seed = 11
+	sc := NewScenario(cfg)
+	cl := sc.AddClient(nil)
+	sc.S.Go(func() {
+		sc.S.Sleep(sc.Warmup())
+		if err := cl.Setup(); err != nil {
+			t.Errorf("setup: %v", err)
+			return
+		}
+		if _, err := cl.Write(store.Put{Key: "smoke", Value: []byte("1")}); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		sc.S.Sleep(cfg.Params.MaxLatency + cfg.Params.KeepAliveEvery)
+	})
+	sc.Run(time.Minute)
+	for _, sl := range sc.Slaves {
+		if sl.Version() != sc.Masters[0].Version() {
+			t.Fatalf("slave %s at %d, master at %d", sl.Addr(), sl.Version(), sc.Masters[0].Version())
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if !strings.HasPrefix(e.ID, "E") {
+			t.Fatalf("bad id %q", e.ID)
+		}
+		if _, err := strconv.Atoi(e.ID[1:]); err != nil {
+			t.Fatalf("bad id %q", e.ID)
+		}
+		if e.Claim == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %s", e.ID)
+		}
+	}
+	if _, err := Find("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("E99"); err == nil {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+// Each experiment runs end-to-end at reduced scale and produces
+// well-formed, non-empty tables. These are the same code paths the
+// benchmarks and cmd/replsim use at full scale.
+
+func runExperiment(t *testing.T, id string) []*tableCheck {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(7, 8) // scale 8 = small
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var out []*tableCheck
+	for _, tb := range tables {
+		if tb.Title == "" || len(tb.Cols) == 0 || len(tb.Rows) == 0 {
+			t.Fatalf("%s produced an empty table: %+v", id, tb)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Cols) {
+				t.Fatalf("%s row width %d != %d cols", id, len(row), len(tb.Cols))
+			}
+		}
+		out = append(out, &tableCheck{tb.Title, tb.Rows})
+	}
+	return out
+}
+
+type tableCheck struct {
+	title string
+	rows  [][]string
+}
+
+func (tc *tableCheck) cell(row, col int) string { return tc.rows[row][col] }
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric", s)
+	}
+	return v
+}
+
+func TestE1ShapeOursCheaperThanSMR(t *testing.T) {
+	tabs := runExperiment(t, "E1")
+	tb := tabs[0]
+	// Row 0: ours. Rows 2..4: SMR f=1..3. Untrusted execs/read column 1.
+	ours := cellFloat(t, tb.cell(0, 1))
+	smr1 := cellFloat(t, tb.cell(2, 1))
+	smr3 := cellFloat(t, tb.cell(4, 1))
+	if !(ours < smr1 && smr1 < smr3) {
+		t.Fatalf("cost ordering broken: ours=%v smr(f=1)=%v smr(f=3)=%v", ours, smr1, smr3)
+	}
+	if ours > 1.5 {
+		t.Fatalf("ours should stay near 1 exec/read, got %v", ours)
+	}
+	if smr1 < 2.9 {
+		t.Fatalf("smr f=1 should be ~3 execs/read, got %v", smr1)
+	}
+}
+
+func TestE2ShapeDetectionFasterWithHigherP(t *testing.T) {
+	tabs := runExperiment(t, "E2")
+	tb := tabs[0]
+	// For q=1.0 rows, higher p must catch faster (median col 2).
+	var lastP, lastMed float64 = -1, -1
+	for _, row := range tb.rows {
+		q := row[1]
+		if q != "1.00" {
+			continue
+		}
+		p := cellFloat(t, row[0])
+		med := cellFloat(t, row[2])
+		if lastP >= 0 && p > lastP && med > lastMed*3 {
+			t.Fatalf("detection got much slower with higher p: p=%v med=%v (prev p=%v med=%v)", p, med, lastP, lastMed)
+		}
+		lastP, lastMed = p, med
+	}
+}
+
+func TestE3ShapeMasterLoadGrowsWithP(t *testing.T) {
+	tabs := runExperiment(t, "E3")
+	tb := tabs[0]
+	first := cellFloat(t, tb.cell(0, 1))
+	last := cellFloat(t, tb.cell(len(tb.rows)-1, 1))
+	if !(first < 0.05 && last > 0.9) {
+		t.Fatalf("double-checks/read should go from ~0 to ~1: first=%v last=%v", first, last)
+	}
+}
+
+func TestE4ShapeAllLiarsExcluded(t *testing.T) {
+	tabs := runExperiment(t, "E4")
+	for _, row := range tabs[0].rows {
+		if row[4] != "yes" {
+			t.Fatalf("liar not excluded in row %v", row)
+		}
+	}
+}
+
+func TestE5ShapeAuditorFasterThanSlave(t *testing.T) {
+	tabs := runExperiment(t, "E5")
+	micro := tabs[0]
+	slaveOps := cellFloat(t, micro.cell(0, 6))
+	audMiss := cellFloat(t, micro.cell(1, 6))
+	audHit := cellFloat(t, micro.cell(2, 6))
+	if !(audMiss > slaveOps && audHit > audMiss) {
+		t.Fatalf("throughput ordering broken: slave=%v miss=%v hit=%v", slaveOps, audMiss, audHit)
+	}
+	if len(tabs) < 2 || len(tabs[1].rows) < 8 {
+		t.Fatal("diurnal table too small")
+	}
+}
+
+func TestE6ShapeStaleRejectionsGrowWithLatency(t *testing.T) {
+	tabs := runExperiment(t, "E6")
+	tb := tabs[0]
+	firstAccepted := cellFloat(t, tb.cell(0, 2))
+	lastAccepted := cellFloat(t, tb.cell(len(tb.rows)-1, 2))
+	lastRelaxed := cellFloat(t, tb.cell(len(tb.rows)-1, 5))
+	if firstAccepted == 0 {
+		t.Fatal("fast client accepted nothing")
+	}
+	if lastAccepted > firstAccepted/2 {
+		t.Fatalf("slow client should mostly fail: first=%v last=%v", firstAccepted, lastAccepted)
+	}
+	if lastRelaxed < firstAccepted/2 {
+		t.Fatalf("client-set bound should restore availability: relaxed=%v", lastRelaxed)
+	}
+}
+
+func TestE7ShapeThroughputCaps(t *testing.T) {
+	tabs := runExperiment(t, "E7")
+	tb := tabs[0]
+	capRate := 0.5 // 1/max_latency with 2s
+	for i, row := range tb.rows {
+		tput := cellFloat(t, row[2])
+		if tput > capRate*1.25 {
+			t.Fatalf("row %d throughput %v exceeds cap %v", i, tput, capRate)
+		}
+	}
+	// The over-offered rows saturate near the cap.
+	last := cellFloat(t, tb.cell(len(tb.rows)-1, 2))
+	if last < capRate*0.7 {
+		t.Fatalf("overload throughput %v should saturate near cap %v", last, capRate)
+	}
+	// Every row admitted at least one write.
+	for i, row := range tb.rows {
+		if cellFloat(t, row[1]) < 1 {
+			t.Fatalf("row %d committed nothing", i)
+		}
+	}
+}
+
+func TestE8ShapeMoreSlavesFewerLies(t *testing.T) {
+	tabs := runExperiment(t, "E8")
+	tb := tabs[0]
+	// With equal colluders, lies accepted must not increase with k.
+	liesByK := map[string]float64{}
+	for _, row := range tb.rows {
+		if row[1] == "2" { // colluders = 2
+			liesByK[row[0]] = cellFloat(t, row[3])
+		}
+	}
+	if liesByK["3"] > liesByK["1"] {
+		t.Fatalf("k=3 accepted more lies than k=1: %v", liesByK)
+	}
+}
+
+func TestE9ShapeGreedyThrottledFairNot(t *testing.T) {
+	tabs := runExperiment(t, "E9")
+	tb := tabs[0]
+	greedyRate := cellFloat(t, tb.cell(0, 4))
+	if greedyRate < 10 { // percent
+		t.Fatalf("greedy throttle rate too low: %v%%", greedyRate)
+	}
+	for i := 1; i < len(tb.rows); i++ {
+		if fair := cellFloat(t, tb.cell(i, 4)); fair > 20 {
+			t.Fatalf("fair client %d throttled %v%%", i, fair)
+		}
+	}
+}
+
+func TestE10ShapeRecoveryHappens(t *testing.T) {
+	tabs := runExperiment(t, "E10")
+	tb := tabs[0]
+	if tb.cell(2, 1) != "2" {
+		t.Fatalf("adopted slaves = %s, want 2", tb.cell(2, 1))
+	}
+	if tb.cell(4, 1) != "yes" {
+		t.Fatal("orphans not receiving keep-alives")
+	}
+}
+
+func TestE11ShapeSensitiveAlwaysCorrect(t *testing.T) {
+	tabs := runExperiment(t, "E11")
+	tb := tabs[0]
+	// Row order: normal, elevated, sensitive. Wrong-accepted column 3.
+	normalWrong := cellFloat(t, tb.cell(0, 3))
+	sensitiveWrong := cellFloat(t, tb.cell(2, 3))
+	if sensitiveWrong != 0 {
+		t.Fatalf("sensitive reads accepted %v wrong answers", sensitiveWrong)
+	}
+	if normalWrong == 0 {
+		t.Fatal("normal reads against an always-lying slave should show errors (audit disabled here)")
+	}
+}
+
+func TestE12ShapeDynamicForcedToTrusted(t *testing.T) {
+	tabs := runExperiment(t, "E12")
+	tb := tabs[0]
+	// static fraction 1.0 row: no trusted reads; 0.1 row: mostly trusted.
+	firstTrusted := cellFloat(t, tb.cell(0, 3))
+	lastTrusted := cellFloat(t, tb.cell(len(tb.rows)-1, 3))
+	if firstTrusted != 0 {
+		t.Fatalf("pure static mix used trusted host %v times", firstTrusted)
+	}
+	if lastTrusted == 0 {
+		t.Fatal("dynamic mix never used trusted host")
+	}
+}
+
+func TestE13ShapeAblation(t *testing.T) {
+	tabs := runExperiment(t, "E13")
+	tb := tabs[0]
+	// The auditor:slave throughput ratio must shrink under modern costs…
+	oldRatio := cellFloat(t, tb.cell(0, 3))
+	newRatio := cellFloat(t, tb.cell(1, 3))
+	if newRatio >= oldRatio {
+		t.Fatalf("auditor advantage should shrink with cheap signing: %v -> %v", oldRatio, newRatio)
+	}
+	if oldRatio < 5 {
+		t.Fatalf("2003 auditor advantage too small: %v", oldRatio)
+	}
+	// …while the architectural execs/read comparison is invariant.
+	for i := 0; i < 2; i++ {
+		ours := cellFloat(t, tb.cell(i, 4))
+		smr := cellFloat(t, tb.cell(i, 5))
+		if ours > 1.5 || smr != 3 {
+			t.Fatalf("row %d: execs/read moved with crypto costs: ours=%v smr=%v", i, ours, smr)
+		}
+	}
+}
+
+func TestE14ShapeRecoveryCompletes(t *testing.T) {
+	tabs := runExperiment(t, "E14")
+	tb := tabs[0]
+	for i, row := range tb.rows {
+		if row[1] != "yes" {
+			t.Fatalf("phase %d (%s) did not complete: %v", i, row[0], row)
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	run := func() string {
+		tabs := E3MasterLoad(5, 16)
+		return tabs.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("experiment not deterministic:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestScaleReads(t *testing.T) {
+	if Scale(0).reads(100) != 100 || Scale(1).reads(100) != 100 {
+		t.Fatal("scale 0/1 must not shrink")
+	}
+	if Scale(10).reads(100) != 10 {
+		t.Fatal("scale 10 should divide by 10")
+	}
+	if Scale(100).reads(100) != 10 {
+		t.Fatal("scale floor of 10 missing")
+	}
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Experiment is a named, runnable experiment from the EXPERIMENTS.md
+// index.
+type Experiment struct {
+	ID    string
+	Claim string // the paper claim (§) the experiment validates
+	Run   func(seed int64, scale Scale) []*metrics.Table
+}
+
+func one(f func(int64, Scale) *metrics.Table) func(int64, Scale) []*metrics.Table {
+	return func(seed int64, scale Scale) []*metrics.Table {
+		return []*metrics.Table{f(seed, scale)}
+	}
+}
+
+// Registry lists every experiment.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "reads on untrusted hosts avoid SMR's 2f+1 overhead (§1, §5)", one(E1ReadCost)},
+		{"E2", "a lying slave is caught red-handed quickly; p tunes speed (§3.3)", one(E2Detection)},
+		{"E3", "double-check probability trades master load for assurance (§3.3)", one(E3MasterLoad)},
+		{"E4", "auditing detects every malicious slave eventually (§3.4)", one(E4Audit)},
+		{"E5", "the auditor out-runs slaves and absorbs diurnal peaks (§3.4)", E5Auditor},
+		{"E6", "max_latency bounds staleness; slow clients relax it (§3, §3.2)", one(E6Freshness)},
+		{"E7", "write throughput is capped at 1/max_latency (§3.1, §6)", one(E7WriteCap)},
+		{"E8", "k-slave reads force liars to collude (§4)", one(E8KSlave)},
+		{"E9", "greedy clients are detected and throttled (§3.3)", one(E9Greedy)},
+		{"E10", "after a master crash survivors divide its slave set (§3)", one(E10MasterCrash)},
+		{"E11", "security-sensitive reads are always correct on trusted hosts (§4)", one(E11Sensitive)},
+		{"E12", "state signing forces dynamic queries onto trusted hosts (§5)", one(E12StateSign)},
+		{"E13", "ablation: which conclusions survive cheap (modern) signatures", one(E13CostAblation)},
+		{"E14", "a recovered slave can be readmitted and serve cleanly (§3.5)", one(E14Recovery)},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,317 @@
+// Package harness builds complete simulated deployments of the
+// replication system and runs the experiments indexed in DESIGN.md /
+// EXPERIMENTS.md. Every experiment function is deterministic for a fixed
+// seed and returns metrics tables whose rows are what EXPERIMENTS.md
+// records.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/pki"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// ScenarioConfig describes a deployment to simulate.
+type ScenarioConfig struct {
+	Seed            int64
+	NMasters        int
+	SlavesPerMaster int
+	Params          core.Params
+	// SlaveBehaviors maps global slave index -> behaviour (default honest).
+	SlaveBehaviors map[int]core.Behavior
+	// Latency is the default one-way link latency.
+	Latency sim.Latency
+	// CatalogSize / DocCount size the initial content.
+	CatalogSize int
+	DocCount    int
+	// MasterCPUs / SlaveCPUs / AuditorCPUs are worker counts (default 1).
+	MasterCPUs  int
+	SlaveCPUs   int
+	AuditorCPUs int
+}
+
+// DefaultScenario is the baseline deployment for experiments.
+func DefaultScenario() ScenarioConfig {
+	p := core.DefaultParams()
+	return ScenarioConfig{
+		Seed:            1,
+		NMasters:        2,
+		SlavesPerMaster: 2,
+		Params:          p,
+		Latency:         sim.Const(5 * time.Millisecond),
+		CatalogSize:     200,
+		DocCount:        20,
+	}
+}
+
+// Scenario is a running deployment in virtual time.
+type Scenario struct {
+	Cfg     ScenarioConfig
+	S       *sim.Sim
+	Net     *rpc.SimNet
+	Owner   *cryptoutil.KeyPair
+	Dir     *pki.Directory
+	Bound   core.BoundDirectory
+	Masters []*core.Master
+	Slaves  []*core.Slave
+	Auditor *core.Auditor
+	Clients []*core.Client
+	ACL     *core.ACL
+	Initial *store.Store
+
+	MasterCPU  []*sim.Resource
+	SlaveCPU   []*sim.Resource
+	AuditorCPU *sim.Resource
+
+	clientN int
+}
+
+// NewScenario builds and starts the deployment (masters, slaves, auditor).
+func NewScenario(cfg ScenarioConfig) *Scenario {
+	if cfg.NMasters < 1 {
+		cfg.NMasters = 1
+	}
+	if cfg.SlavesPerMaster < 1 {
+		cfg.SlavesPerMaster = 1
+	}
+	if cfg.MasterCPUs < 1 {
+		cfg.MasterCPUs = 1
+	}
+	if cfg.SlaveCPUs < 1 {
+		cfg.SlaveCPUs = 1
+	}
+	if cfg.AuditorCPUs < 1 {
+		cfg.AuditorCPUs = 1
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = sim.Const(5 * time.Millisecond)
+	}
+	s := sim.New(cfg.Seed)
+	sc := &Scenario{
+		Cfg:   cfg,
+		S:     s,
+		Net:   rpc.NewSimNet(s, cfg.Latency),
+		Owner: cryptoutil.DeriveKeyPair("owner", 0),
+		Dir:   pki.NewDirectory(),
+		ACL:   core.NewACL(),
+	}
+	sc.Bound = core.BoundDirectory{Dir: sc.Dir, ContentKey: sc.Owner.Public}
+	sc.Initial = workload.BuildContent(cfg.CatalogSize, cfg.DocCount)
+
+	masterAddrs := make([]string, cfg.NMasters)
+	masterKeys := make([]*cryptoutil.KeyPair, cfg.NMasters)
+	var masterPubs []cryptoutil.PublicKey
+	for i := range masterAddrs {
+		masterAddrs[i] = fmt.Sprintf("master-%d", i)
+		masterKeys[i] = cryptoutil.DeriveKeyPair("master", i)
+		masterPubs = append(masterPubs, masterKeys[i].Public)
+	}
+	auditorAddr := "auditor"
+	auditorKeys := cryptoutil.DeriveKeyPair("auditor", 0)
+	peers := append(append([]string(nil), masterAddrs...), auditorAddr)
+
+	for i := 0; i < cfg.NMasters; i++ {
+		cert := pki.Certificate{
+			Role: pki.RoleMaster, Addr: masterAddrs[i], Subject: masterKeys[i].Public,
+			IssuedAt: s.Now(), Serial: uint64(i),
+		}
+		cert.Sign(sc.Owner)
+		sc.Dir.Publish(sc.Owner.Public, cert)
+		cpu := s.NewResource(masterAddrs[i]+"/cpu", cfg.MasterCPUs)
+		sc.MasterCPU = append(sc.MasterCPU, cpu)
+		m, err := core.NewMaster(core.MasterConfig{
+			Addr:        masterAddrs[i],
+			Keys:        masterKeys[i],
+			Params:      cfg.Params,
+			ContentKey:  sc.Owner.Public,
+			Peers:       peers,
+			AuditorAddr: auditorAddr,
+			AuditorPub:  auditorKeys.Public,
+			ACL:         sc.ACL,
+			Directory:   sc.Bound,
+			CPU:         cpu,
+			Seed:        cfg.Seed*1000 + int64(i),
+		}, s, sc.Net.Dialer(masterAddrs[i]), sc.Initial)
+		if err != nil {
+			panic(err) // configuration bug in the experiment, not runtime
+		}
+		sc.Masters = append(sc.Masters, m)
+		sc.Net.Register(masterAddrs[i], m.Handle)
+	}
+
+	slaveIdx := 0
+	for i := 0; i < cfg.NMasters; i++ {
+		for j := 0; j < cfg.SlavesPerMaster; j++ {
+			addr := fmt.Sprintf("slave-%d", slaveIdx)
+			keys := cryptoutil.DeriveKeyPair("slave", slaveIdx)
+			behavior := core.Behavior(core.Honest{})
+			if b, ok := cfg.SlaveBehaviors[slaveIdx]; ok {
+				behavior = b
+			}
+			cpu := s.NewResource(addr+"/cpu", cfg.SlaveCPUs)
+			sc.SlaveCPU = append(sc.SlaveCPU, cpu)
+			sl := core.NewSlave(core.SlaveConfig{
+				Addr:       addr,
+				Keys:       keys,
+				Params:     cfg.Params,
+				MasterAddr: masterAddrs[i],
+				MasterPubs: masterPubs,
+				Behavior:   behavior,
+				CPU:        cpu,
+				Seed:       cfg.Seed*2000 + int64(slaveIdx),
+			}, s, sc.Net.Dialer(addr), sc.Initial)
+			sc.Slaves = append(sc.Slaves, sl)
+			sc.Net.Register(addr, sl.Handle)
+			sc.Masters[i].AddSlave(addr, keys.Public)
+			slaveIdx++
+		}
+	}
+
+	sc.AuditorCPU = s.NewResource("auditor/cpu", cfg.AuditorCPUs)
+	aud, err := core.NewAuditor(core.AuditorConfig{
+		Addr:        auditorAddr,
+		Keys:        auditorKeys,
+		Params:      cfg.Params,
+		Peers:       peers,
+		MasterAddrs: masterAddrs,
+		CPU:         sc.AuditorCPU,
+		Seed:        cfg.Seed * 3000,
+	}, s, sc.Net.Dialer(auditorAddr), sc.Initial)
+	if err != nil {
+		panic(err)
+	}
+	sc.Auditor = aud
+	sc.Net.Register(auditorAddr, aud.Handle)
+
+	for _, m := range sc.Masters {
+		m.Start()
+	}
+	aud.Start()
+	return sc
+}
+
+// AddClient registers a new client. mut may adjust the configuration.
+func (sc *Scenario) AddClient(mut func(*core.ClientConfig)) *core.Client {
+	idx := sc.clientN
+	sc.clientN++
+	addr := fmt.Sprintf("client-%d", idx)
+	keys := cryptoutil.DeriveKeyPair("client", idx)
+	sc.ACL.Allow(keys.Public)
+	cfg := core.ClientConfig{
+		Addr:            addr,
+		Keys:            keys,
+		Params:          sc.Cfg.Params,
+		ContentKey:      sc.Owner.Public,
+		Directory:       sc.Bound,
+		AuditorAddr:     "auditor",
+		PreferredMaster: idx % len(sc.Masters),
+		Seed:            sc.Cfg.Seed*4000 + int64(idx),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	cl := core.NewClient(cfg, sc.S, sc.Net.Dialer(addr))
+	sc.Net.Register(addr, cl.Handle)
+	sc.Clients = append(sc.Clients, cl)
+	return cl
+}
+
+// Warmup is how long after start the first keep-alives certainly arrived
+// (slaves cannot serve before that).
+func (sc *Scenario) Warmup() time.Duration {
+	return 2*sc.Cfg.Params.KeepAliveEvery + 100*time.Millisecond
+}
+
+// Run drives the simulation for the given virtual duration.
+func (sc *Scenario) Run(d time.Duration) {
+	sc.S.RunUntil(sim.Epoch.Add(d))
+}
+
+// TotalSlaveStats sums the counters over all slaves.
+func (sc *Scenario) TotalSlaveStats() core.SlaveStats {
+	var t core.SlaveStats
+	for _, sl := range sc.Slaves {
+		st := sl.Stats()
+		t.ReadsServed += st.ReadsServed
+		t.ReadsLied += st.ReadsLied
+		t.ReadsRefused += st.ReadsRefused
+		t.UpdatesOK += st.UpdatesOK
+		t.UpdatesSynced += st.UpdatesSynced
+		t.KeepAlives += st.KeepAlives
+	}
+	return t
+}
+
+// TotalMasterStats sums the counters over all masters.
+func (sc *Scenario) TotalMasterStats() core.MasterStats {
+	var t core.MasterStats
+	for _, m := range sc.Masters {
+		st := m.Stats()
+		t.WritesAdmitted += st.WritesAdmitted
+		t.WritesApplied += st.WritesApplied
+		t.WritePacingWaits += st.WritePacingWaits
+		t.DoubleChecks += st.DoubleChecks
+		t.DoubleChecksDrop += st.DoubleChecksDrop
+		t.SensitiveReads += st.SensitiveReads
+		t.Reports += st.Reports
+		t.Exclusions += st.Exclusions
+		t.SyncsServed += st.SyncsServed
+		t.KeepAlivesSent += st.KeepAlivesSent
+		t.UpdatesSent += st.UpdatesSent
+		t.ClientsNotified += st.ClientsNotified
+		t.SlavesAdopted += st.SlavesAdopted
+	}
+	return t
+}
+
+// TotalClientStats sums the counters over all clients.
+func (sc *Scenario) TotalClientStats() core.ClientStats {
+	var t core.ClientStats
+	for _, c := range sc.Clients {
+		st := c.Stats()
+		t.ReadsAccepted += st.ReadsAccepted
+		t.LiesAccepted += st.LiesAccepted
+		t.ReadsFailed += st.ReadsFailed
+		t.StaleRejects += st.StaleRejects
+		t.SlaveStale += st.SlaveStale
+		t.HashMismatches += st.HashMismatches
+		t.BadPledges += st.BadPledges
+		t.Retries += st.Retries
+		t.DoubleChecks += st.DoubleChecks
+		t.DoubleThrottled += st.DoubleThrottled
+		t.CaughtImmediate += st.CaughtImmediate
+		t.ReportsFiled += st.ReportsFiled
+		t.PledgesSent += st.PledgesSent
+		t.Reassignments += st.Reassignments
+		t.Resetups += st.Resetups
+		t.WritesOK += st.WritesOK
+		t.WritesFailed += st.WritesFailed
+		t.KMismatch += st.KMismatch
+	}
+	return t
+}
+
+// MasterBusy returns total CPU busy time across masters.
+func (sc *Scenario) MasterBusy() time.Duration {
+	var t time.Duration
+	for _, c := range sc.MasterCPU {
+		t += c.BusyTime()
+	}
+	return t
+}
+
+// SlaveBusy returns total CPU busy time across slaves.
+func (sc *Scenario) SlaveBusy() time.Duration {
+	var t time.Duration
+	for _, c := range sc.SlaveCPU {
+		t += c.BusyTime()
+	}
+	return t
+}

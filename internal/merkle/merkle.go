@@ -1,0 +1,159 @@
+// Package merkle implements the hash-tree authentication used by the
+// state-signing baseline (§5 of the paper, citing Merkle's certified
+// digital signature). The content owner signs only the root; clients
+// verify any single entry fetched from untrusted storage with a
+// logarithmic membership proof.
+//
+// The tree is built over the ordered (key, value) entries of a content
+// snapshot. Leaves are hashed with a domain-separated prefix distinct
+// from interior nodes, preventing second-preimage splicing attacks.
+package merkle
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+)
+
+// Errors returned by proof verification.
+var (
+	ErrProofInvalid = errors.New("merkle: proof does not verify against root")
+	ErrIndexRange   = errors.New("merkle: leaf index out of range")
+)
+
+// Entry is one authenticated leaf.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+func leafHash(e Entry) cryptoutil.Digest {
+	return cryptoutil.HashConcat([]byte{0x00}, []byte(e.Key), e.Value)
+}
+
+func nodeHash(l, r cryptoutil.Digest) cryptoutil.Digest {
+	return cryptoutil.HashConcat([]byte{0x01}, l[:], r[:])
+}
+
+// Tree is a Merkle tree over an ordered list of entries.
+type Tree struct {
+	entries []Entry
+	levels  [][]cryptoutil.Digest // levels[0] = leaf hashes, last = [root]
+}
+
+// Build constructs a tree over the entries in the given order. The caller
+// is responsible for supplying a canonical (sorted) order; replicas built
+// from the same snapshot then produce the same root. An empty entry list
+// yields a defined, constant root.
+func Build(entries []Entry) *Tree {
+	t := &Tree{entries: append([]Entry(nil), entries...)}
+	leaves := make([]cryptoutil.Digest, len(entries))
+	for i, e := range entries {
+		leaves[i] = leafHash(e)
+	}
+	if len(leaves) == 0 {
+		leaves = []cryptoutil.Digest{cryptoutil.HashBytes([]byte("merkle:empty"))}
+	}
+	t.levels = append(t.levels, leaves)
+	for len(t.levels[len(t.levels)-1]) > 1 {
+		prev := t.levels[len(t.levels)-1]
+		next := make([]cryptoutil.Digest, 0, (len(prev)+1)/2)
+		for i := 0; i < len(prev); i += 2 {
+			if i+1 < len(prev) {
+				next = append(next, nodeHash(prev[i], prev[i+1]))
+			} else {
+				// Odd node is promoted unchanged (Bitcoin-style duplication
+				// is avoided: promotion cannot be exploited because leaf
+				// and node hashes are domain separated).
+				next = append(next, prev[i])
+			}
+		}
+		t.levels = append(t.levels, next)
+	}
+	return t
+}
+
+// Root returns the tree root that the content owner signs.
+func (t *Tree) Root() cryptoutil.Digest {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int { return len(t.entries) }
+
+// Entry returns leaf i.
+func (t *Tree) Entry(i int) (Entry, error) {
+	if i < 0 || i >= len(t.entries) {
+		return Entry{}, ErrIndexRange
+	}
+	return t.entries[i], nil
+}
+
+// Find returns the index of the entry with the given key, or -1.
+func (t *Tree) Find(key string) int {
+	lo, hi := 0, len(t.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.entries[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.entries) && t.entries[lo].Key == key {
+		return lo
+	}
+	return -1
+}
+
+// ProofStep is one sibling hash on the path from a leaf to the root.
+type ProofStep struct {
+	Sibling cryptoutil.Digest
+	Left    bool // sibling is on the left
+}
+
+// Proof is a membership proof for one leaf.
+type Proof struct {
+	Index int
+	Steps []ProofStep
+}
+
+// Prove returns the membership proof for leaf i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= len(t.entries) {
+		return Proof{}, ErrIndexRange
+	}
+	p := Proof{Index: i}
+	idx := i
+	for level := 0; level < len(t.levels)-1; level++ {
+		nodes := t.levels[level]
+		if idx%2 == 0 {
+			if idx+1 < len(nodes) {
+				p.Steps = append(p.Steps, ProofStep{Sibling: nodes[idx+1], Left: false})
+			}
+			// else: odd promotion, no sibling at this level
+		} else {
+			p.Steps = append(p.Steps, ProofStep{Sibling: nodes[idx-1], Left: true})
+		}
+		idx /= 2
+	}
+	return p, nil
+}
+
+// Verify checks that entry is a member of the tree with the given root.
+func Verify(root cryptoutil.Digest, entry Entry, proof Proof) error {
+	h := leafHash(entry)
+	for _, s := range proof.Steps {
+		if s.Left {
+			h = nodeHash(s.Sibling, h)
+		} else {
+			h = nodeHash(h, s.Sibling)
+		}
+	}
+	if !h.Equal(root) {
+		return fmt.Errorf("%w (index %d)", ErrProofInvalid, proof.Index)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func entries(n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Key: fmt.Sprintf("k%04d", i), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	return es
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 100} {
+		tr := Build(entries(n))
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d prove(%d): %v", n, i, err)
+			}
+			e, _ := tr.Entry(i)
+			if err := Verify(tr.Root(), e, p); err != nil {
+				t.Fatalf("n=%d verify(%d): %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedValue(t *testing.T) {
+	tr := Build(entries(10))
+	p, _ := tr.Prove(3)
+	e, _ := tr.Entry(3)
+	e.Value = []byte("lies")
+	if err := Verify(tr.Root(), e, p); err == nil {
+		t.Fatal("tampered value verified")
+	}
+}
+
+func TestVerifyRejectsTamperedKey(t *testing.T) {
+	tr := Build(entries(10))
+	p, _ := tr.Prove(3)
+	e, _ := tr.Entry(3)
+	e.Key = "other"
+	if err := Verify(tr.Root(), e, p); err == nil {
+		t.Fatal("tampered key verified")
+	}
+}
+
+func TestVerifyRejectsWrongProof(t *testing.T) {
+	tr := Build(entries(10))
+	p, _ := tr.Prove(4) // proof for a different leaf
+	e, _ := tr.Entry(3)
+	if err := Verify(tr.Root(), e, p); err == nil {
+		t.Fatal("mismatched proof verified")
+	}
+}
+
+func TestVerifyRejectsCorruptedStep(t *testing.T) {
+	tr := Build(entries(16))
+	p, _ := tr.Prove(5)
+	e, _ := tr.Entry(5)
+	p.Steps[1].Sibling[0] ^= 0x80
+	if err := Verify(tr.Root(), e, p); err == nil {
+		t.Fatal("corrupted proof step verified")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	a := Build(entries(8))
+	b := Build(entries(9))
+	p, _ := a.Prove(2)
+	e, _ := a.Entry(2)
+	if err := Verify(b.Root(), e, p); err == nil {
+		t.Fatal("wrong root verified")
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	base := Build(entries(20)).Root()
+	for i := 0; i < 20; i++ {
+		es := entries(20)
+		es[i].Value = append(es[i].Value, '!')
+		if Build(es).Root() == base {
+			t.Fatalf("leaf %d change did not affect root", i)
+		}
+	}
+}
+
+func TestEmptyTreeDefined(t *testing.T) {
+	a, b := Build(nil), Build(nil)
+	if a.Root() != b.Root() {
+		t.Fatal("empty root not constant")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("len = %d", a.Len())
+	}
+}
+
+func TestFind(t *testing.T) {
+	tr := Build(entries(50))
+	if i := tr.Find("k0031"); i != 31 {
+		t.Fatalf("find = %d, want 31", i)
+	}
+	if i := tr.Find("absent"); i != -1 {
+		t.Fatalf("find absent = %d", i)
+	}
+}
+
+func TestProveRangeErrors(t *testing.T) {
+	tr := Build(entries(3))
+	if _, err := tr.Prove(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tr.Prove(3); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := tr.Entry(99); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// A tree of two leaves must not equal a single leaf whose bytes mimic
+	// the interior-node encoding.
+	two := Build(entries(2))
+	l0 := leafHash(Entry{Key: "k0000", Value: []byte("v0")})
+	l1 := leafHash(Entry{Key: "k0001", Value: []byte("v1")})
+	fake := Entry{Key: "", Value: append(append([]byte{}, l0[:]...), l1[:]...)}
+	one := Build([]Entry{fake})
+	if two.Root() == one.Root() {
+		t.Fatal("leaf/node domain separation failed")
+	}
+}
+
+func TestQuickProofsVerify(t *testing.T) {
+	f := func(vals [][]byte, pick uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		es := make([]Entry, len(vals))
+		for i, v := range vals {
+			es[i] = Entry{Key: fmt.Sprintf("k%06d", i), Value: v}
+		}
+		tr := Build(es)
+		i := int(pick) % len(es)
+		p, err := tr.Prove(i)
+		if err != nil {
+			return false
+		}
+		return Verify(tr.Root(), es[i], p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSingleBitCorruptionFails(t *testing.T) {
+	tr := Build(entries(33))
+	f := func(pick, byteIdx, bit uint8) bool {
+		i := int(pick) % 33
+		p, _ := tr.Prove(i)
+		e, _ := tr.Entry(i)
+		if len(e.Value) == 0 {
+			return true
+		}
+		e.Value = append([]byte(nil), e.Value...) // do not mutate tree storage
+		e.Value[int(byteIdx)%len(e.Value)] ^= 1 << (bit % 8)
+		return Verify(tr.Root(), e, p) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

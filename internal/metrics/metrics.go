@@ -1,0 +1,206 @@
+// Package metrics provides the counters, duration histograms and table
+// rendering used by the experiment harness to report results in the
+// paper-table style.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram collects duration samples and reports quantiles. It stores
+// raw samples (experiments are small enough); Quantile sorts lazily.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.sum += d
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1), or 0 with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
+
+// Table is a titled grid of formatted cells for experiment output.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// Add appends a row; values are formatted with Cell.
+func (t *Table) Add(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		row[i] = Cell(v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note attaches a footnote line printed under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Cell formats a single value for table output.
+func Cell(v interface{}) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case time.Duration:
+		return formatDuration(x)
+	case float64:
+		switch {
+		case x == 0:
+			return "0"
+		case math.Abs(x) >= 100:
+			return fmt.Sprintf("%.0f", x)
+		case math.Abs(x) >= 1:
+			return fmt.Sprintf("%.2f", x)
+		default:
+			return fmt.Sprintf("%.4f", x)
+		}
+	case bool:
+		if x {
+			return "yes"
+		}
+		return "no"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Cols, " | "))
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n_%s_\n", n)
+	}
+	return b.String()
+}
+
+// Ratio returns a/b guarding division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }

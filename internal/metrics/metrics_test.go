@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if q := h.Quantile(0.5); q != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.99); q != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", q)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Quantile(0) != time.Millisecond {
+		t.Fatalf("p0 = %v", h.Quantile(0))
+	}
+}
+
+func TestHistogramUnsortedInsertions(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{5, 1, 9, 3, 7} {
+		h.Add(time.Duration(v) * time.Second)
+	}
+	if h.Quantile(0.5) != 5*time.Second {
+		t.Fatalf("median = %v", h.Quantile(0.5))
+	}
+	h.Add(2 * time.Second) // must re-sort
+	if h.Quantile(0) != time.Second {
+		t.Fatalf("min after add = %v", h.Quantile(0))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "arch", "execs/read", "latency")
+	tb.Add("ours", 1.05, 20*time.Millisecond)
+	tb.Add("smr f=1", 3.0, 60*time.Millisecond)
+	tb.Note("lower is better")
+	out := tb.String()
+	for _, want := range []string{"Demo", "arch", "ours", "smr f=1", "3.00", "20.0ms", "lower is better"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, sep, 2 rows, note
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.Add(1, 2)
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	cases := map[string]interface{}{
+		"1.50":   1.5,
+		"0.0010": 0.001,
+		"150":    150.0,
+		"yes":    true,
+		"no":     false,
+		"42":     42,
+		"x":      "x",
+		"1.5ms":  1500 * time.Microsecond,
+		"2.00s":  2 * time.Second,
+		"3.0µs":  3 * time.Microsecond,
+		"0":      time.Duration(0),
+	}
+	for want, in := range cases {
+		if got := Cell(in); got != want {
+			t.Errorf("Cell(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Fatal("ratio")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("ratio div0")
+	}
+	if Pct(0.125) != "12.5%" {
+		t.Fatalf("pct = %s", Pct(0.125))
+	}
+}

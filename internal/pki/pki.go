@@ -1,0 +1,276 @@
+// Package pki implements the paper's key and certificate machinery (§2):
+// the content key pair whose public half names the content; certificates,
+// signed with the content key, that bind each master server's contact
+// address to its public key; master-issued certificates for slaves; the
+// public directory that serves master certificates indexed by content
+// public key; and exclusion certificates that revoke slaves proven
+// malicious (§3.5).
+package pki
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// Roles that appear in certificates.
+const (
+	RoleMaster  = "master"
+	RoleSlave   = "slave"
+	RoleAuditor = "auditor"
+)
+
+// Errors returned by verification.
+var (
+	ErrBadCertSig  = errors.New("pki: certificate signature invalid")
+	ErrWrongIssuer = errors.New("pki: certificate issuer is not trusted")
+	ErrExcluded    = errors.New("pki: subject has been excluded")
+	ErrNotFound    = errors.New("pki: no such content in directory")
+)
+
+// Certificate binds a subject public key to a role and contact address,
+// under an issuer's signature. Master certificates are issued under the
+// content key; slave certificates under a master key.
+type Certificate struct {
+	Role     string
+	Addr     string
+	Subject  cryptoutil.PublicKey
+	Issuer   cryptoutil.PublicKey
+	IssuedAt time.Time
+	Serial   uint64
+	Sig      []byte
+}
+
+func (c *Certificate) signedBytes() []byte {
+	w := wire.NewWriter(128)
+	w.String_("cert.v1")
+	w.String_(c.Role)
+	w.String_(c.Addr)
+	w.Bytes_(c.Subject)
+	w.Bytes_(c.Issuer)
+	w.Time(c.IssuedAt)
+	w.Uvarint(c.Serial)
+	return w.Bytes()
+}
+
+// Sign fills in Issuer and Sig using the issuer's key pair.
+func (c *Certificate) Sign(issuer *cryptoutil.KeyPair) {
+	c.Issuer = issuer.Public
+	c.Sig = issuer.Sign(c.signedBytes())
+}
+
+// Verify checks the signature and that the issuer matches trustedIssuer.
+func (c *Certificate) Verify(trustedIssuer cryptoutil.PublicKey) error {
+	if !bytes.Equal(c.Issuer, trustedIssuer) {
+		return ErrWrongIssuer
+	}
+	if err := cryptoutil.Verify(c.Issuer, c.signedBytes(), c.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCertSig, err)
+	}
+	return nil
+}
+
+// Encode appends the certificate to w.
+func (c *Certificate) Encode(w *wire.Writer) {
+	w.String_(c.Role)
+	w.String_(c.Addr)
+	w.Bytes_(c.Subject)
+	w.Bytes_(c.Issuer)
+	w.Time(c.IssuedAt)
+	w.Uvarint(c.Serial)
+	w.Bytes_(c.Sig)
+}
+
+// DecodeCertificate reads a certificate from r.
+func DecodeCertificate(r *wire.Reader) (Certificate, error) {
+	var c Certificate
+	c.Role = r.String()
+	c.Addr = r.String()
+	c.Subject = cryptoutil.PublicKey(r.Bytes())
+	c.Issuer = cryptoutil.PublicKey(r.Bytes())
+	c.IssuedAt = r.Time()
+	c.Serial = r.Uvarint()
+	c.Sig = r.Bytes()
+	return c, r.Err()
+}
+
+// Exclusion is a signed statement that a subject (a slave proven
+// malicious) is no longer part of the system (§3.5). Evidence is the
+// encoded misbehaviour proof it is based on; verifiers may inspect it.
+type Exclusion struct {
+	Subject  cryptoutil.PublicKey
+	Reason   string
+	At       time.Time
+	Evidence []byte
+	Issuer   cryptoutil.PublicKey
+	Sig      []byte
+}
+
+func (e *Exclusion) signedBytes() []byte {
+	w := wire.NewWriter(128)
+	w.String_("excl.v1")
+	w.Bytes_(e.Subject)
+	w.String_(e.Reason)
+	w.Time(e.At)
+	w.Bytes_(e.Evidence)
+	return w.Bytes()
+}
+
+// Sign fills in Issuer and Sig.
+func (e *Exclusion) Sign(issuer *cryptoutil.KeyPair) {
+	e.Issuer = issuer.Public
+	e.Sig = issuer.Sign(e.signedBytes())
+}
+
+// Verify checks the exclusion is signed by the given trusted issuer.
+func (e *Exclusion) Verify(trustedIssuer cryptoutil.PublicKey) error {
+	if !bytes.Equal(e.Issuer, trustedIssuer) {
+		return ErrWrongIssuer
+	}
+	if err := cryptoutil.Verify(e.Issuer, e.signedBytes(), e.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCertSig, err)
+	}
+	return nil
+}
+
+// Encode appends the exclusion to w.
+func (e *Exclusion) Encode(w *wire.Writer) {
+	w.Bytes_(e.Subject)
+	w.String_(e.Reason)
+	w.Time(e.At)
+	w.Bytes_(e.Evidence)
+	w.Bytes_(e.Issuer)
+	w.Bytes_(e.Sig)
+}
+
+// DecodeExclusion reads an exclusion from r.
+func DecodeExclusion(r *wire.Reader) (Exclusion, error) {
+	var e Exclusion
+	e.Subject = cryptoutil.PublicKey(r.Bytes())
+	e.Reason = r.String()
+	e.At = r.Time()
+	e.Evidence = r.Bytes()
+	e.Issuer = cryptoutil.PublicKey(r.Bytes())
+	e.Sig = r.Bytes()
+	return e, r.Err()
+}
+
+// Directory is the public directory of §2: given a content public key it
+// returns the certified master set. It also records exclusions so that
+// clients can learn of revoked slaves. The directory is an untrusted
+// lookup service — everything it serves is independently verifiable
+// against the content key.
+type Directory struct {
+	contents   map[string][]Certificate // content key fingerprint -> master certs
+	exclusions map[string][]Exclusion   // content key fingerprint -> exclusions
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		contents:   make(map[string][]Certificate),
+		exclusions: make(map[string][]Exclusion),
+	}
+}
+
+func keyID(contentKey cryptoutil.PublicKey) string {
+	return cryptoutil.KeyFingerprint(contentKey)
+}
+
+// Publish registers a master certificate under the content key.
+func (d *Directory) Publish(contentKey cryptoutil.PublicKey, cert Certificate) {
+	id := keyID(contentKey)
+	// Replace any previous certificate for the same (role, subject).
+	certs := d.contents[id]
+	for i := range certs {
+		if certs[i].Role == cert.Role && bytes.Equal(certs[i].Subject, cert.Subject) {
+			certs[i] = cert
+			d.contents[id] = certs
+			return
+		}
+	}
+	d.contents[id] = append(certs, cert)
+}
+
+// Withdraw removes the certificate for a subject (e.g. a crashed master).
+func (d *Directory) Withdraw(contentKey, subject cryptoutil.PublicKey) {
+	id := keyID(contentKey)
+	certs := d.contents[id]
+	for i := range certs {
+		if bytes.Equal(certs[i].Subject, subject) {
+			d.contents[id] = append(certs[:i], certs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lookup returns the certificates registered under the content key.
+func (d *Directory) Lookup(contentKey cryptoutil.PublicKey) ([]Certificate, error) {
+	certs, ok := d.contents[keyID(contentKey)]
+	if !ok || len(certs) == 0 {
+		return nil, ErrNotFound
+	}
+	return append([]Certificate(nil), certs...), nil
+}
+
+// RecordExclusion stores a slave exclusion under the content key.
+func (d *Directory) RecordExclusion(contentKey cryptoutil.PublicKey, e Exclusion) {
+	id := keyID(contentKey)
+	d.exclusions[id] = append(d.exclusions[id], e)
+}
+
+// Exclusions returns all recorded exclusions for the content key.
+func (d *Directory) Exclusions(contentKey cryptoutil.PublicKey) []Exclusion {
+	return append([]Exclusion(nil), d.exclusions[keyID(contentKey)]...)
+}
+
+// IsExcluded reports whether subject has a recorded exclusion.
+func (d *Directory) IsExcluded(contentKey, subject cryptoutil.PublicKey) bool {
+	for _, e := range d.exclusions[keyID(contentKey)] {
+		if bytes.Equal(e.Subject, subject) {
+			return true
+		}
+	}
+	return false
+}
+
+// ClearExclusion removes all exclusions for subject (§3.5: a slave that
+// was the victim of an attack can, "after recovering it to a safe state",
+// be brought back to use).
+func (d *Directory) ClearExclusion(contentKey, subject cryptoutil.PublicKey) {
+	id := keyID(contentKey)
+	excl := d.exclusions[id]
+	out := excl[:0]
+	for _, e := range excl {
+		if !bytes.Equal(e.Subject, subject) {
+			out = append(out, e)
+		}
+	}
+	d.exclusions[id] = out
+}
+
+// VerifiedMasters returns the master certificates under contentKey whose
+// signatures verify against it, dropping any others. This is the client
+// setup step: "by knowing the content public key and the address of the
+// directory, any client can securely get the addresses and public keys of
+// all the master servers" (§2).
+func (d *Directory) VerifiedMasters(contentKey cryptoutil.PublicKey) ([]Certificate, error) {
+	certs, err := d.Lookup(contentKey)
+	if err != nil {
+		return nil, err
+	}
+	out := certs[:0]
+	for _, c := range certs {
+		if c.Role == RoleMaster && c.Verify(contentKey) == nil {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrNotFound
+	}
+	return out, nil
+}

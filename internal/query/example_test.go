@@ -1,0 +1,46 @@
+package query_test
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Executing a grep query — the paper's flagship "complex read" (§2) —
+// against a content replica, and hashing the result the way a slave
+// pledges it.
+func ExampleGrep() {
+	content := store.New()
+	content.Apply(store.Put{Key: "src/main.go", Value: []byte("package main\n// TODO: fix\n")})
+	content.Apply(store.Put{Key: "src/util.go", Value: []byte("package util\n")})
+
+	q := query.Grep{Pattern: "TODO", PathPrefix: "src/"}
+	res, err := q.Execute(content)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	matches, _ := query.GrepResult(res.Payload)
+	for _, m := range matches {
+		fmt.Printf("%s:%d: %s\n", m.Path, m.Line, m.Text)
+	}
+	// The digest is what a slave commits to in its signed pledge.
+	fmt.Println("digest length:", len(res.Digest()))
+	// Output:
+	// src/main.go:2: // TODO: fix
+	// digest length: 20
+}
+
+// Aggregations execute on untrusted replicas too — the capability the
+// state-signing designs lack (§5).
+func ExampleSum() {
+	content := store.New()
+	content.Apply(store.Put{Key: "prices/a", Value: []byte("100")})
+	content.Apply(store.Put{Key: "prices/b", Value: []byte("250")})
+
+	res, _ := query.Sum{P: "prices/"}.Execute(content)
+	total, _ := query.SumResult(res.Payload)
+	fmt.Println("total:", total)
+	// Output: total: 350
+}

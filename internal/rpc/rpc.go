@@ -1,0 +1,58 @@
+// Package rpc provides the request/response messaging layer the
+// replication protocol runs on. Protocol nodes (masters, slaves, clients,
+// the auditor) are written against the small Dialer/Handler interfaces
+// here and therefore run unchanged on two transports:
+//
+//   - SimNet: virtual-time, deterministic, per-link latency distributions
+//     (used by every experiment), and
+//   - TCP: real sockets with length-prefixed frames and request
+//     multiplexing (used by the tcploop example and cmd/replnode).
+//
+// Application-level errors returned by a remote handler travel back to
+// the caller as *RemoteError; transport failures are ordinary local
+// errors (ErrUnreachable, timeouts).
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Handler processes one request addressed to a node. from identifies the
+// caller's address (informational; authentication is cryptographic, in
+// the payloads). It returns the response body or an application error.
+type Handler func(from, method string, body []byte) ([]byte, error)
+
+// Dialer issues requests to remote nodes by address.
+type Dialer interface {
+	// Call sends a request and waits for the response.
+	Call(addr, method string, body []byte) ([]byte, error)
+	// CallTimeout is Call with an upper bound on waiting.
+	CallTimeout(addr, method string, body []byte, timeout time.Duration) ([]byte, error)
+}
+
+// RemoteError is an application error returned by a remote handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Transport-level errors.
+var (
+	ErrUnreachable = errors.New("rpc: destination unreachable")
+	ErrTimeout     = errors.New("rpc: call timed out")
+	ErrClosed      = errors.New("rpc: endpoint closed")
+)
+
+// IsRemote reports whether err is an application error from the remote
+// handler rather than a transport failure.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "time"
+
+// Clock abstracts time so that the same protocol code runs in virtual time
+// (driven by Sim) and in wall-clock time (driven by RealClock). Sleep
+// returns an error only in virtual time, when the simulation stops.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration) error
+}
+
+// Runtime is a Clock that can also start concurrent activities. In
+// virtual time Spawn creates a simulation task; in real time it starts a
+// goroutine. Protocol nodes use it for background loops (keep-alives,
+// heartbeats, audit workers).
+type Runtime interface {
+	Clock
+	Spawn(fn func())
+}
+
+// RealClock is a Runtime backed by the operating system clock and plain
+// goroutines.
+type RealClock struct{}
+
+// Now returns the current wall-clock time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep pauses the calling goroutine for d.
+func (RealClock) Sleep(d time.Duration) error {
+	time.Sleep(d)
+	return nil
+}
+
+// Spawn starts fn on a new goroutine.
+func (RealClock) Spawn(fn func()) { go fn() }
+
+// Spawn starts fn as a simulation task at the current virtual time.
+func (s *Sim) Spawn(fn func()) { s.Go(fn) }
+
+var _ Runtime = RealClock{}
+var _ Runtime = (*Sim)(nil)

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGoAtClampsPastTimes(t *testing.T) {
+	s := New(1)
+	var at time.Time
+	s.Go(func() {
+		s.Sleep(10 * time.Millisecond)
+		// Scheduling in the past must clamp to now, not travel back.
+		s.GoAt(s.Now().Add(-time.Hour), func() { at = s.Now() })
+	})
+	s.Run()
+	if want := Epoch.Add(10 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("ran at %v, want %v", at, want)
+	}
+}
+
+func TestSleepNegativeIsImmediate(t *testing.T) {
+	s := New(1)
+	var after time.Time
+	s.Go(func() {
+		s.Sleep(-time.Hour)
+		after = s.Now()
+	})
+	s.Run()
+	if !after.Equal(Epoch) {
+		t.Fatalf("negative sleep advanced time to %v", after)
+	}
+}
+
+func TestSleepAfterStopReturnsError(t *testing.T) {
+	s := New(1)
+	var err error
+	s.Go(func() {
+		s.Stop()
+		err = s.Sleep(time.Second)
+	})
+	s.Run()
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestAwaitAfterStopReturnsError(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var err error
+	s.Go(func() {
+		s.Stop()
+		_, err = p.Future().Await()
+	})
+	s.Run()
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestPromiseRejectPropagatesError(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var got error
+	s.Go(func() {
+		_, got = p.Future().Await()
+	})
+	s.Go(func() {
+		p.Reject(ErrTimeout)
+	})
+	s.Run()
+	if got != ErrTimeout {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestPromiseDoubleResolvePanics(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var recovered interface{}
+	s.Go(func() {
+		defer func() { recovered = recover() }()
+		p.Resolve(1)
+		p.Resolve(2)
+	})
+	s.Run()
+	if recovered == nil {
+		t.Fatal("double resolve did not panic")
+	}
+}
+
+func TestAwaitTimeoutOnAlreadyResolved(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var v interface{}
+	s.Go(func() {
+		p.Resolve("x")
+		v, _ = p.Future().AwaitTimeout(time.Second)
+	})
+	s.Run()
+	if v != "x" {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestResourceNegativeAndZeroService(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu", 1)
+	s.Go(func() {
+		end, err := r.Use(-time.Second)
+		if err != nil || !end.Equal(s.Now()) {
+			t.Errorf("negative service: end=%v err=%v", end, err)
+		}
+		r.Charge(-time.Second) // must be a no-op
+		if r.BusyTime() != 0 {
+			t.Errorf("busy = %v after no-op charges", r.BusyTime())
+		}
+	})
+	s.Run()
+}
+
+func TestResourceCapacityFloor(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu", 0) // clamped to 1 worker
+	var ends []time.Duration
+	for i := 0; i < 2; i++ {
+		s.Go(func() {
+			end, _ := r.Use(time.Millisecond)
+			ends = append(ends, end.Sub(Epoch))
+		})
+	}
+	s.Run()
+	if len(ends) != 2 || ends[1] != 2*time.Millisecond {
+		t.Fatalf("ends = %v (capacity floor broken)", ends)
+	}
+}
+
+func TestRunReturnsDispatchCount(t *testing.T) {
+	s := New(1)
+	s.Go(func() { s.Sleep(time.Millisecond) })
+	if n := s.Run(); n < 2 { // start event + wake event
+		t.Fatalf("dispatched = %d", n)
+	}
+	if !s.Stopped() {
+		t.Fatal("sim not stopped after Run")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c RealClock
+	t0 := c.Now()
+	if err := c.Sleep(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Now().After(t0) {
+		t.Fatal("real clock did not advance")
+	}
+	done := make(chan struct{})
+	c.Spawn(func() { close(done) })
+	<-done
+}

@@ -1,0 +1,28 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Two tasks coordinating through a promise in virtual time: the whole
+// run takes microseconds of wall time no matter how long the virtual
+// delays are.
+func Example() {
+	s := sim.New(1)
+	p := s.NewPromise()
+
+	s.Go(func() {
+		v, _ := p.Future().Await()
+		fmt.Printf("received %v at T+%v\n", v, s.Now().Sub(sim.Epoch))
+	})
+	s.Go(func() {
+		s.Sleep(3 * time.Hour) // virtual hours are free
+		p.Resolve("state update")
+	})
+
+	s.Run()
+	// Output: received state update at T+3h0m0s
+}

@@ -1,0 +1,142 @@
+package sim
+
+import "time"
+
+// Promise is the write side of a single-assignment cell used to build
+// request/response interactions in virtual time. A Promise is resolved at
+// most once; all tasks awaiting its Future are then woken at the current
+// virtual time.
+type Promise struct {
+	s        *Sim
+	resolved bool
+	value    interface{}
+	err      error
+	waiters  []*task
+}
+
+// Future is the read side of a Promise.
+type Future struct{ p *Promise }
+
+// NewPromise creates an unresolved promise bound to the simulation.
+func (s *Sim) NewPromise() *Promise {
+	return &Promise{s: s}
+}
+
+// Future returns the read side of p.
+func (p *Promise) Future() Future { return Future{p} }
+
+// Resolve fulfills the promise with a value. Waiters are scheduled to wake
+// at the current virtual time. Resolving twice panics: a promise models a
+// single response.
+func (p *Promise) Resolve(v interface{}) { p.complete(v, nil) }
+
+// Reject fulfills the promise with an error.
+func (p *Promise) Reject(err error) { p.complete(nil, err) }
+
+func (p *Promise) complete(v interface{}, err error) {
+	if p.resolved {
+		panic("sim: promise resolved twice")
+	}
+	p.resolved = true
+	p.value = v
+	p.err = err
+	for _, t := range p.waiters {
+		p.s.unregisterWaiter(t)
+		p.s.push(&event{at: p.s.now, kind: evWake, t: t})
+	}
+	p.waiters = nil
+}
+
+// Resolved reports whether the promise has been fulfilled.
+func (p *Promise) Resolved() bool { return p.resolved }
+
+// Await blocks the current task until the promise resolves. It returns the
+// resolution value and error; if the simulation stops first it returns
+// ErrStopped.
+func (f Future) Await() (interface{}, error) {
+	p := f.p
+	if p == nil {
+		panic("sim: Await on zero Future")
+	}
+	if p.resolved {
+		return p.value, p.err
+	}
+	s := p.s
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	t := s.cur
+	if t == nil {
+		panic("sim: Await called outside a simulation task")
+	}
+	p.waiters = append(p.waiters, t)
+	s.registerWaiter(t)
+	if s.park() {
+		return nil, ErrStopped
+	}
+	return p.value, p.err
+}
+
+// AwaitTimeout is Await with a virtual-time deadline. If the promise is
+// not resolved within d it returns ErrTimeout; the promise remains usable.
+func (f Future) AwaitTimeout(d time.Duration) (interface{}, error) {
+	p := f.p
+	if p.resolved {
+		return p.value, p.err
+	}
+	s := p.s
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	t := s.cur
+	if t == nil {
+		panic("sim: AwaitTimeout called outside a simulation task")
+	}
+	fired := false // set by whichever of (resolve, timer) wakes us first
+	p.waiters = append(p.waiters, t)
+	s.registerWaiter(t)
+	s.Call(d, func() {
+		if fired || p.resolved {
+			return
+		}
+		fired = true
+		// Remove ourselves from the waiter list and wake with timeout.
+		for i, w := range p.waiters {
+			if w == t {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				break
+			}
+		}
+		s.unregisterWaiter(t)
+		s.push(&event{at: s.now, kind: evWake, t: t})
+	})
+	if s.park() {
+		return nil, ErrStopped
+	}
+	if p.resolved && !fired {
+		fired = true
+		return p.value, p.err
+	}
+	return nil, ErrTimeout
+}
+
+// ErrTimeout is returned by AwaitTimeout when the deadline passes first.
+var ErrTimeout = timeoutError{}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "sim: await timeout" }
+func (timeoutError) Timeout() bool { return true }
+
+// registerWaiter records a task parked on a future so the shutdown path
+// can abort it.
+func (s *Sim) registerWaiter(t *task) {
+	if s.futureWaiters == nil {
+		s.futureWaiters = make(map[*task]struct{})
+	}
+	s.futureWaiters[t] = struct{}{}
+}
+
+func (s *Sim) unregisterWaiter(t *task) {
+	delete(s.futureWaiters, t)
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Latency models a one-way network delay distribution. Implementations
+// must be safe to share between links but are only sampled from the
+// simulation task (single-threaded).
+type Latency interface {
+	Sample(rng *rand.Rand) time.Duration
+	String() string
+}
+
+// Const is a fixed latency.
+type Const time.Duration
+
+// Sample returns the constant delay.
+func (c Const) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+func (c Const) String() string { return fmt.Sprintf("const(%v)", time.Duration(c)) }
+
+// Uniform is a latency drawn uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample draws a uniform delay.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%v,%v)", u.Min, u.Max) }
+
+// LogNormal is a heavy-tailed latency distribution typical of WAN paths:
+// the delay is Median * exp(Sigma * N(0,1)), floored at Floor.
+type LogNormal struct {
+	Median time.Duration
+	Sigma  float64
+	Floor  time.Duration
+}
+
+// Sample draws a log-normal delay.
+func (l LogNormal) Sample(rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(l.Median) * math.Exp(l.Sigma*rng.NormFloat64()))
+	if d < l.Floor {
+		d = l.Floor
+	}
+	return d
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(median=%v,sigma=%.2f)", l.Median, l.Sigma)
+}
+
+// Shifted adds a fixed propagation delay to another distribution, modelling
+// distance plus jitter.
+type Shifted struct {
+	Base time.Duration
+	Tail Latency
+}
+
+// Sample draws Base + Tail.
+func (s Shifted) Sample(rng *rand.Rand) time.Duration {
+	return s.Base + s.Tail.Sample(rng)
+}
+
+func (s Shifted) String() string { return fmt.Sprintf("shifted(%v+%s)", s.Base, s.Tail) }

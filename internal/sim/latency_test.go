@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestConstLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Const(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if got := c.Sample(rng); got != 5*time.Millisecond {
+			t.Fatalf("sample = %v", got)
+		}
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := Uniform{Min: 2 * time.Millisecond, Max: 8 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Sample(rng)
+		if d < u.Min || d > u.Max {
+			t.Fatalf("sample %v out of [%v,%v]", d, u.Min, u.Max)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := Uniform{Min: 4 * time.Millisecond, Max: 4 * time.Millisecond}
+	if got := u.Sample(rng); got != 4*time.Millisecond {
+		t.Fatalf("sample = %v", got)
+	}
+}
+
+func TestLogNormalFloorAndSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := LogNormal{Median: 10 * time.Millisecond, Sigma: 0.5, Floor: time.Millisecond}
+	var below, above int
+	for i := 0; i < 2000; i++ {
+		d := l.Sample(rng)
+		if d < l.Floor {
+			t.Fatalf("sample %v below floor", d)
+		}
+		if d < l.Median {
+			below++
+		} else {
+			above++
+		}
+	}
+	// Median property: roughly half below, half above.
+	if below < 800 || above < 800 {
+		t.Fatalf("median property violated: below=%d above=%d", below, above)
+	}
+}
+
+func TestShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sh := Shifted{Base: 20 * time.Millisecond, Tail: Uniform{Max: 2 * time.Millisecond}}
+	for i := 0; i < 100; i++ {
+		d := sh.Sample(rng)
+		if d < 20*time.Millisecond || d > 22*time.Millisecond {
+			t.Fatalf("sample %v out of range", d)
+		}
+	}
+}
+
+func TestLatencyStrings(t *testing.T) {
+	cases := []Latency{
+		Const(time.Millisecond),
+		Uniform{Min: 1, Max: 2},
+		LogNormal{Median: time.Millisecond, Sigma: 0.3},
+		Shifted{Base: time.Millisecond, Tail: Const(0)},
+	}
+	for _, c := range cases {
+		if c.String() == "" {
+			t.Fatalf("%T has empty String()", c)
+		}
+	}
+}

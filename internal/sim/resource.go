@@ -1,0 +1,121 @@
+package sim
+
+import "time"
+
+// Resource models a FIFO processing resource (typically a server CPU) with
+// a fixed number of identical workers. Use blocks the calling task until
+// the work of the given duration has been both scheduled behind earlier
+// arrivals and executed. It is the building block for throughput and
+// utilization experiments: service times queue up exactly as they would on
+// a real single- or multi-core server.
+type Resource struct {
+	s       *Sim
+	name    string
+	free    []time.Time // next-free virtual time per worker
+	busy    time.Duration
+	jobs    int
+	maxQ    int
+	queued  int
+	created time.Time
+}
+
+// NewResource creates a resource with the given number of parallel
+// workers (capacity), all idle at the current virtual time.
+func (s *Sim) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	free := make([]time.Time, capacity)
+	for i := range free {
+		free[i] = s.now
+	}
+	return &Resource{s: s, name: name, free: free, created: s.now}
+}
+
+// Use enqueues a job of the given service time and blocks until it
+// completes. It returns the job's completion time, or ErrStopped.
+func (r *Resource) Use(service time.Duration) (time.Time, error) {
+	if service < 0 {
+		service = 0
+	}
+	// Pick the worker that frees up earliest.
+	best := 0
+	for i := 1; i < len(r.free); i++ {
+		if r.free[i].Before(r.free[best]) {
+			best = i
+		}
+	}
+	start := r.free[best]
+	if start.Before(r.s.now) {
+		start = r.s.now
+	}
+	end := start.Add(service)
+	r.free[best] = end
+	r.busy += service
+	r.jobs++
+	r.queued++
+	if r.queued > r.maxQ {
+		r.maxQ = r.queued
+	}
+	err := r.s.SleepUntil(end)
+	r.queued--
+	if err != nil {
+		return time.Time{}, err
+	}
+	return end, nil
+}
+
+// Charge records service time on the resource without blocking the caller
+// past the work itself; it is Use for fire-and-forget background work.
+func (r *Resource) Charge(service time.Duration) {
+	if service < 0 {
+		return
+	}
+	best := 0
+	for i := 1; i < len(r.free); i++ {
+		if r.free[i].Before(r.free[best]) {
+			best = i
+		}
+	}
+	start := r.free[best]
+	if start.Before(r.s.now) {
+		start = r.s.now
+	}
+	r.free[best] = start.Add(service)
+	r.busy += service
+	r.jobs++
+}
+
+// Backlog returns how far the resource's earliest worker is booked past
+// the current virtual time: 0 means idle capacity is available now.
+func (r *Resource) Backlog() time.Duration {
+	best := r.free[0]
+	for _, f := range r.free[1:] {
+		if f.Before(best) {
+			best = f
+		}
+	}
+	if best.Before(r.s.now) {
+		return 0
+	}
+	return best.Sub(r.s.now)
+}
+
+// BusyTime returns the total service time executed so far.
+func (r *Resource) BusyTime() time.Duration { return r.busy }
+
+// Jobs returns the number of jobs processed (or admitted) so far.
+func (r *Resource) Jobs() int { return r.jobs }
+
+// MaxQueue returns the maximum number of jobs simultaneously in service
+// or waiting observed so far.
+func (r *Resource) MaxQueue() int { return r.maxQ }
+
+// Utilization returns busy time divided by (elapsed time x capacity).
+func (r *Resource) Utilization() float64 {
+	elapsed := r.s.now.Sub(r.created)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.busy) / (float64(elapsed) * float64(len(r.free)))
+}

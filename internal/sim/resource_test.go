@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResourceSerializesJobs(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu", 1)
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Go(func() {
+			end, err := r.Use(10 * time.Millisecond)
+			if err != nil {
+				t.Errorf("Use: %v", err)
+				return
+			}
+			ends = append(ends, end.Sub(Epoch))
+		})
+	}
+	s.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(ends) != 3 {
+		t.Fatalf("ends = %v", ends)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceParallelWorkers(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu", 2)
+	var ends []time.Duration
+	for i := 0; i < 4; i++ {
+		s.Go(func() {
+			end, _ := r.Use(10 * time.Millisecond)
+			ends = append(ends, end.Sub(Epoch))
+		})
+	}
+	s.Run()
+	// Two workers: jobs finish at 10,10,20,20 ms.
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu", 1)
+	s.Go(func() {
+		r.Use(30 * time.Millisecond)
+		s.Sleep(30 * time.Millisecond) // idle period
+	})
+	s.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+	if r.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy = %v", r.BusyTime())
+	}
+	if r.Jobs() != 1 {
+		t.Fatalf("jobs = %d", r.Jobs())
+	}
+}
+
+func TestResourceChargeAndBacklog(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu", 1)
+	s.Go(func() {
+		r.Charge(50 * time.Millisecond)
+		if b := r.Backlog(); b != 50*time.Millisecond {
+			t.Errorf("backlog = %v, want 50ms", b)
+		}
+		s.Sleep(25 * time.Millisecond)
+		if b := r.Backlog(); b != 25*time.Millisecond {
+			t.Errorf("backlog = %v, want 25ms", b)
+		}
+		s.Sleep(100 * time.Millisecond)
+		if b := r.Backlog(); b != 0 {
+			t.Errorf("backlog = %v, want 0", b)
+		}
+	})
+	s.Run()
+}
+
+func TestResourceQueueStats(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu", 1)
+	for i := 0; i < 5; i++ {
+		s.Go(func() { r.Use(time.Millisecond) })
+	}
+	s.Run()
+	if r.MaxQueue() != 5 {
+		t.Fatalf("maxQ = %d, want 5", r.MaxQueue())
+	}
+}

@@ -1,0 +1,268 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// Protocol code is written in ordinary blocking style (Sleep, Await, RPC
+// calls) and runs unmodified in virtual time. The simulator enforces a
+// single-runnable-token discipline: exactly one task goroutine executes at
+// any moment, and control passes between tasks only at simulation
+// primitives. Together with a seeded random source this makes every run
+// bit-for-bit reproducible.
+//
+// The scheduler owns a priority queue of events ordered by (virtual time,
+// insertion sequence). Tasks park themselves on the queue (Sleep) or on
+// futures (Await); the scheduler pops the earliest event, advances the
+// virtual clock, and hands the execution token to the woken task.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the virtual time at which every simulation starts.
+var Epoch = time.Date(2003, time.May, 18, 0, 0, 0, 0, time.UTC)
+
+// ErrStopped is returned by blocking primitives when the simulation has
+// been stopped before the wakeup condition occurred.
+var ErrStopped = errors.New("sim: simulation stopped")
+
+// Sim is a discrete-event simulation instance. Create one with New, spawn
+// root tasks with Go, and drive it with Run. A Sim must not be shared
+// between concurrently running simulations.
+type Sim struct {
+	now     time.Time
+	events  eventHeap
+	seq     uint64
+	cur     *task
+	yield   chan struct{} // task -> scheduler: "I parked or exited"
+	stopped bool
+	rng     *rand.Rand
+	tasks   int // live (started, not exited) tasks
+	parked  int // tasks parked with no scheduled wakeup (future waiters)
+
+	futureWaiters map[*task]struct{} // parked future waiters, for shutdown
+}
+
+type eventKind uint8
+
+const (
+	evStart eventKind = iota // spawn a new task running fn
+	evWake                   // resume a parked task
+	evFunc                   // run fn inline in scheduler context (no blocking allowed)
+)
+
+type event struct {
+	at   time.Time
+	seq  uint64
+	kind eventKind
+	fn   func()
+	t    *task
+}
+
+type task struct {
+	resume  chan struct{}
+	aborted bool // set when the sim stops while the task is parked
+	index   int  // debugging aid: task spawn order
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		now:   Epoch,
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only
+// be used from within simulation tasks (single-threaded by construction).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Stopped reports whether Run has finished or Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Go schedules fn to start as a new task at the current virtual time.
+// It may be called before Run or from within a running task.
+func (s *Sim) Go(fn func()) {
+	s.GoAt(s.now, fn)
+}
+
+// GoAt schedules fn to start as a new task at virtual time at (which must
+// not be earlier than the current time; earlier times are clamped).
+func (s *Sim) GoAt(at time.Time, fn func()) {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.push(&event{at: at, kind: evStart, fn: fn})
+}
+
+// GoAfter schedules fn to start as a new task after delay d.
+func (s *Sim) GoAfter(d time.Duration, fn func()) {
+	s.GoAt(s.now.Add(d), fn)
+}
+
+// Call schedules fn to run inline in scheduler context at the given delay.
+// fn must not block on simulation primitives; it is intended for cheap
+// bookkeeping such as resolving a promise or recording a sample.
+func (s *Sim) Call(d time.Duration, fn func()) {
+	s.push(&event{at: s.now.Add(d), kind: evFunc, fn: fn})
+}
+
+// Run executes the simulation until no events remain, until the optional
+// horizon is reached, or until Stop is called. It returns the number of
+// events dispatched. Tasks still parked on futures when Run returns are
+// aborted: their blocking primitive returns ErrStopped.
+func (s *Sim) Run() int {
+	return s.RunUntil(time.Time{})
+}
+
+// RunUntil is Run with a horizon: events scheduled after the horizon are
+// not dispatched (a zero horizon means no limit).
+func (s *Sim) RunUntil(horizon time.Time) int {
+	dispatched := 0
+	for s.events.Len() > 0 && !s.stopped {
+		e := heap.Pop(&s.events).(*event)
+		if !horizon.IsZero() && e.at.After(horizon) {
+			s.now = horizon
+			break
+		}
+		s.now = e.at
+		dispatched++
+		switch e.kind {
+		case evFunc:
+			e.fn()
+		case evStart:
+			t := &task{resume: make(chan struct{}), index: dispatched}
+			s.tasks++
+			fn := e.fn
+			go func() {
+				<-t.resume
+				fn()
+				s.tasks--
+				s.yield <- struct{}{}
+			}()
+			s.dispatch(t)
+		case evWake:
+			if e.t.aborted {
+				continue // already force-woken by Stop
+			}
+			s.dispatch(e.t)
+		}
+	}
+	s.stop()
+	return dispatched
+}
+
+// Stop aborts the simulation: pending events are discarded and parked
+// tasks are woken with ErrStopped. It may be called from within a task.
+func (s *Sim) Stop() { s.stopped = true }
+
+// stop finalizes the run: wakes every future-parked task with the aborted
+// flag so that its goroutine can unwind and exit.
+func (s *Sim) stop() {
+	s.stopped = true
+	// Tasks parked on the event heap (Sleep) are woken via their events
+	// being dropped; wake them through the heap remnants first.
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.kind == evWake && !e.t.aborted {
+			e.t.aborted = true
+			s.dispatch(e.t)
+		}
+	}
+	// Then abort tasks parked on unresolved futures.
+	for len(s.futureWaiters) > 0 {
+		for t := range s.futureWaiters {
+			delete(s.futureWaiters, t)
+			s.abortWaiter(t)
+			break // map may have changed while t unwound; restart iteration
+		}
+	}
+}
+
+// abortWaiter force-wakes a future waiter during shutdown.
+func (s *Sim) abortWaiter(t *task) {
+	if t.aborted {
+		return
+	}
+	t.aborted = true
+	s.dispatch(t)
+}
+
+// dispatch hands the token to t and waits for it to park or exit.
+func (s *Sim) dispatch(t *task) {
+	prev := s.cur
+	s.cur = t
+	t.resume <- struct{}{}
+	<-s.yield
+	s.cur = prev
+}
+
+// park suspends the current task until something re-dispatches it.
+// It reports whether the wakeup was an abort.
+func (s *Sim) park() bool {
+	t := s.cur
+	if t == nil {
+		panic("sim: blocking primitive called outside a simulation task")
+	}
+	s.parked++
+	s.yield <- struct{}{}
+	<-t.resume
+	s.parked--
+	return t.aborted
+}
+
+// Sleep suspends the current task for virtual duration d. It returns
+// ErrStopped if the simulation stopped before the deadline.
+func (s *Sim) Sleep(d time.Duration) error {
+	if s.stopped {
+		return ErrStopped
+	}
+	if d < 0 {
+		d = 0
+	}
+	t := s.cur
+	if t == nil {
+		panic("sim: Sleep called outside a simulation task")
+	}
+	s.push(&event{at: s.now.Add(d), kind: evWake, t: t})
+	if s.park() {
+		return ErrStopped
+	}
+	return nil
+}
+
+// SleepUntil suspends the current task until virtual time at.
+func (s *Sim) SleepUntil(at time.Time) error {
+	return s.Sleep(at.Sub(s.now))
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSleepOrdering(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Go(func() {
+		s.Sleep(30 * time.Millisecond)
+		order = append(order, "c")
+	})
+	s.Go(func() {
+		s.Sleep(10 * time.Millisecond)
+		order = append(order, "a")
+	})
+	s.Go(func() {
+		s.Sleep(20 * time.Millisecond)
+		order = append(order, "b")
+	})
+	s.Run()
+	want := []string{"a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+	if got := s.Now().Sub(Epoch); got != 30*time.Millisecond {
+		t.Fatalf("final time = %v, want 30ms", got)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Go(func() {
+			s.Sleep(5 * time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-time events must be FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	s := New(1)
+	done := 0
+	s.Go(func() {
+		s.Sleep(time.Millisecond)
+		s.Go(func() {
+			s.Sleep(time.Millisecond)
+			done++
+		})
+		done++
+	})
+	s.Run()
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+}
+
+func TestPromiseResolveBeforeAwait(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var got interface{}
+	s.Go(func() {
+		p.Resolve(42)
+		v, err := p.Future().Await()
+		if err != nil {
+			t.Errorf("Await: %v", err)
+		}
+		got = v
+	})
+	s.Run()
+	if got != 42 {
+		t.Fatalf("got %v, want 42", got)
+	}
+}
+
+func TestPromiseCrossTask(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var gotAt time.Time
+	s.Go(func() {
+		v, err := p.Future().Await()
+		if err != nil || v != "hello" {
+			t.Errorf("Await = %v, %v", v, err)
+		}
+		gotAt = s.Now()
+	})
+	s.Go(func() {
+		s.Sleep(7 * time.Millisecond)
+		p.Resolve("hello")
+	})
+	s.Run()
+	if want := Epoch.Add(7 * time.Millisecond); !gotAt.Equal(want) {
+		t.Fatalf("woke at %v, want %v", gotAt, want)
+	}
+}
+
+func TestPromiseMultipleWaiters(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	woken := 0
+	for i := 0; i < 5; i++ {
+		s.Go(func() {
+			if _, err := p.Future().Await(); err == nil {
+				woken++
+			}
+		})
+	}
+	s.Go(func() {
+		s.Sleep(time.Millisecond)
+		p.Resolve(nil)
+	})
+	s.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestAwaitTimeoutFires(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var err error
+	var at time.Time
+	s.Go(func() {
+		_, err = p.Future().AwaitTimeout(15 * time.Millisecond)
+		at = s.Now()
+	})
+	s.Run()
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if want := Epoch.Add(15 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("timed out at %v, want %v", at, want)
+	}
+}
+
+func TestAwaitTimeoutResolvedFirst(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise()
+	var v interface{}
+	var err error
+	s.Go(func() {
+		v, err = p.Future().AwaitTimeout(50 * time.Millisecond)
+	})
+	s.Go(func() {
+		s.Sleep(5 * time.Millisecond)
+		p.Resolve("fast")
+	})
+	s.Run()
+	if err != nil || v != "fast" {
+		t.Fatalf("got %v, %v; want fast, nil", v, err)
+	}
+}
+
+func TestStopAbortsParkedTasks(t *testing.T) {
+	s := New(1)
+	p := s.NewPromise() // never resolved
+	var awaitErr, sleepErr error
+	s.Go(func() {
+		_, awaitErr = p.Future().Await()
+	})
+	s.Go(func() {
+		sleepErr = s.Sleep(time.Hour)
+	})
+	s.Go(func() {
+		s.Sleep(time.Millisecond)
+		s.Stop()
+	})
+	s.Run()
+	if awaitErr != ErrStopped {
+		t.Errorf("await err = %v, want ErrStopped", awaitErr)
+	}
+	if sleepErr != ErrStopped {
+		t.Errorf("sleep err = %v, want ErrStopped", sleepErr)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Go(func() {
+		for i := 0; i < 100; i++ {
+			if s.Sleep(time.Second) != nil {
+				return
+			}
+			ran++
+		}
+	})
+	s.RunUntil(Epoch.Add(10*time.Second + time.Millisecond))
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10", ran)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		s := New(99)
+		var trace string
+		for i := 0; i < 5; i++ {
+			i := i
+			s.Go(func() {
+				for j := 0; j < 10; j++ {
+					d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+					if s.Sleep(d) != nil {
+						return
+					}
+					trace += fmt.Sprintf("%d@%v;", i, s.Now().Sub(Epoch))
+				}
+			})
+		}
+		s.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two runs with same seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestCallInline(t *testing.T) {
+	s := New(1)
+	fired := time.Time{}
+	s.Go(func() {
+		s.Call(9*time.Millisecond, func() { fired = s.Now() })
+		s.Sleep(20 * time.Millisecond)
+	})
+	s.Run()
+	if want := Epoch.Add(9 * time.Millisecond); !fired.Equal(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+}
+
+func TestGoAfter(t *testing.T) {
+	s := New(1)
+	var at time.Time
+	s.GoAfter(42*time.Millisecond, func() { at = s.Now() })
+	s.Run()
+	if want := Epoch.Add(42 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("started at %v, want %v", at, want)
+	}
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func populated(n int) *Store {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.Apply(Put{Key: fmt.Sprintf("k%04d", i), Value: []byte(fmt.Sprintf("v%d", i))})
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := populated(100)
+	got, err := DecodeSnapshot(src.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != src.Version() {
+		t.Fatalf("version = %d, want %d", got.Version(), src.Version())
+	}
+	if got.Len() != src.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), src.Len())
+	}
+	if got.StateDigest() != src.StateDigest() {
+		t.Fatal("digest mismatch after snapshot round trip")
+	}
+	// The restored replica keeps working.
+	if err := got.ApplyAt(got.Version()+1, Put{Key: "new", Value: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	got, err := DecodeSnapshot(New().EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Version() != 0 {
+		t.Fatalf("len=%d version=%d", got.Len(), got.Version())
+	}
+}
+
+func TestSnapshotRejectsBadMagic(t *testing.T) {
+	w := wire.NewWriter(16)
+	w.String_("not-a-snapshot")
+	if _, err := DecodeSnapshot(w.Bytes()); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	b := populated(20).EncodeSnapshot()
+	for _, cut := range []int{1, len(b) / 2, len(b) - 1} {
+		if _, err := DecodeSnapshot(b[:cut]); err == nil {
+			t.Fatalf("truncated snapshot (at %d) accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotRejectsUnsortedKeys(t *testing.T) {
+	w := wire.NewWriter(64)
+	w.String_("snap.v1")
+	w.Uvarint(2)
+	w.Uvarint(2)
+	w.String_("b")
+	w.Bytes_([]byte("1"))
+	w.String_("a") // out of order
+	w.Bytes_([]byte("2"))
+	if _, err := DecodeSnapshot(w.Bytes()); err == nil {
+		t.Fatal("unsorted snapshot accepted")
+	}
+}
+
+func TestSnapshotRejectsTrailingBytes(t *testing.T) {
+	b := append(populated(3).EncodeSnapshot(), 0x00)
+	if _, err := DecodeSnapshot(b); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestQuickSnapshotPreservesDigest(t *testing.T) {
+	f := func(keys []uint8, vals [][]byte) bool {
+		src := New()
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			src.Apply(Put{Key: fmt.Sprintf("k%03d", keys[i]), Value: vals[i]})
+		}
+		got, err := DecodeSnapshot(src.EncodeSnapshot())
+		if err != nil {
+			return false
+		}
+		return got.StateDigest() == src.StateDigest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

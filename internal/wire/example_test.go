@@ -1,0 +1,28 @@
+package wire_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Encoding and decoding a small message with the deterministic binary
+// format used for all signed protocol packets.
+func Example() {
+	w := wire.NewWriter(64)
+	w.String_("catalog/00042")
+	w.Uvarint(7)
+	w.Time(time.Date(2003, 5, 18, 12, 0, 0, 0, time.UTC))
+
+	r := wire.NewReader(w.Bytes())
+	key := r.String()
+	version := r.Uvarint()
+	ts := r.Time()
+	if err := r.Done(); err != nil {
+		fmt.Println("decode error:", err)
+		return
+	}
+	fmt.Printf("%s @ v%d (%s)\n", key, version, ts.Format("2006-01-02"))
+	// Output: catalog/00042 @ v7 (2003-05-18)
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(-1)
+	w.Varint(math.MaxInt64)
+	w.Varint(math.MinInt64 + 1)
+	w.Uint32(0xdeadbeef)
+	w.Uint64(0x0123456789abcdef)
+	w.Byte(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(-3.25)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint max = %d", got)
+	}
+	if got := r.Varint(); got != -1 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := r.Varint(); got != math.MaxInt64 {
+		t.Errorf("varint max = %d", got)
+	}
+	if got := r.Varint(); got != math.MinInt64+1 {
+		t.Errorf("varint min = %d", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("uint32 = %x", got)
+	}
+	if got := r.Uint64(); got != 0x0123456789abcdef {
+		t.Errorf("uint64 = %x", got)
+	}
+	if got := r.Byte(); got != 7 {
+		t.Errorf("byte = %d", got)
+	}
+	if got := r.Bool(); !got {
+		t.Errorf("bool = %v", got)
+	}
+	if got := r.Bool(); got {
+		t.Errorf("bool = %v", got)
+	}
+	if got := r.Float64(); got != -3.25 {
+		t.Errorf("float = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestRoundTripBytesStrings(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes_([]byte{1, 2, 3})
+	w.Bytes_(nil)
+	w.String_("héllo")
+	w.String_("")
+	w.StringSlice([]string{"a", "bb", ""})
+	w.StringSlice(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes = %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("nil bytes = %v", got)
+	}
+	if got := r.String(); got != "héllo" {
+		t.Errorf("string = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty string = %q", got)
+	}
+	ss := r.StringSlice()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "bb" || ss[2] != "" {
+		t.Errorf("stringslice = %v", ss)
+	}
+	if ss := r.StringSlice(); len(ss) != 0 {
+		t.Errorf("nil slice = %v", ss)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestRoundTripTime(t *testing.T) {
+	w := NewWriter(0)
+	now := time.Date(2003, 5, 18, 12, 34, 56, 789, time.UTC)
+	w.Time(now)
+	w.Time(time.Time{})
+	w.Duration(-5 * time.Second)
+
+	r := NewReader(w.Bytes())
+	if got := r.Time(); !got.Equal(now) {
+		t.Errorf("time = %v, want %v", got, now)
+	}
+	if got := r.Time(); !got.IsZero() {
+		t.Errorf("zero time = %v", got)
+	}
+	if got := r.Duration(); got != -5*time.Second {
+		t.Errorf("duration = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint64(1)
+	for cut := 0; cut < 8; cut++ {
+		r := NewReader(w.Bytes()[:cut])
+		r.Uint64()
+		if r.Err() == nil {
+			t.Fatalf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestCorruptLengthPrefix(t *testing.T) {
+	// Claim a 1 GiB string with a 3-byte buffer.
+	w := NewWriter(0)
+	w.Uvarint(1 << 30)
+	r := NewReader(w.Bytes())
+	_ = r.Bytes()
+	if r.Err() == nil {
+		t.Fatal("expected error for oversized length prefix")
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader(nil)
+	r.Uint32() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	r.Uvarint()
+	_ = r.String()
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	w := NewWriter(0)
+	w.Byte(1)
+	w.Byte(2)
+	r := NewReader(w.Bytes())
+	r.Byte()
+	if err := r.Done(); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	enc := func() []byte {
+		w := NewWriter(0)
+		w.String_("key")
+		w.Uvarint(42)
+		w.Time(time.Unix(1000, 5).UTC())
+		return append([]byte(nil), w.Bytes()...)
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestQuickUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(0)
+		w.Uvarint(v)
+		r := NewReader(w.Bytes())
+		got := r.Uvarint()
+		return got == v && r.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		w := NewWriter(0)
+		w.Varint(v)
+		r := NewReader(w.Bytes())
+		got := r.Varint()
+		return got == v && r.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(b []byte, s string) bool {
+		w := NewWriter(0)
+		w.Bytes_(b)
+		w.String_(s)
+		r := NewReader(w.Bytes())
+		gb := r.Bytes()
+		gs := r.String()
+		return bytes.Equal(gb, b) && gs == s && r.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(a uint64, b int64, c bool, d float64, e []byte) bool {
+		w := NewWriter(0)
+		w.Uvarint(a)
+		w.Varint(b)
+		w.Bool(c)
+		w.Float64(d)
+		w.Bytes_(e)
+		r := NewReader(w.Bytes())
+		if r.Uvarint() != a || r.Varint() != b || r.Bool() != c {
+			return false
+		}
+		gd := r.Float64()
+		if gd != d && !(math.IsNaN(gd) && math.IsNaN(d)) {
+			return false
+		}
+		return bytes.Equal(r.Bytes(), e) && r.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(0)
+	w.String_("abc")
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("len after reset = %d", w.Len())
+	}
+	w.Byte(9)
+	r := NewReader(w.Bytes())
+	if r.Byte() != 9 || r.Done() != nil {
+		t.Fatal("write after reset broken")
+	}
+}

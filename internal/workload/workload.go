@@ -1,0 +1,188 @@
+// Package workload generates the read/write traffic the experiments
+// drive through the system: Zipf-skewed key popularity, configurable
+// query mixes (point reads vs. scans, aggregations and greps — §2's
+// "complex" reads), Poisson arrivals, and the diurnal (daily-peak)
+// arrival pattern the paper's auditor argument relies on (§3.4).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// CatalogKey formats the i-th content key; the experiments' content is a
+// product-catalogue-like keyspace plus a few document files.
+func CatalogKey(i int) string { return fmt.Sprintf("catalog/%05d", i) }
+
+// DocKey formats the i-th document path.
+func DocKey(i int) string { return fmt.Sprintf("docs/file%03d", i) }
+
+// BuildContent creates the initial data content: nCatalog numeric catalog
+// entries and nDocs small text documents (grep targets).
+func BuildContent(nCatalog, nDocs int) *store.Store {
+	s := store.New()
+	for i := 0; i < nCatalog; i++ {
+		s.Apply(store.Put{Key: CatalogKey(i), Value: []byte(fmt.Sprintf("%d", 100+i))})
+	}
+	for i := 0; i < nDocs; i++ {
+		body := fmt.Sprintf("title doc%03d\nprice %d\nstatus %s\n",
+			i, 10*i, map[bool]string{true: "active", false: "archived"}[i%3 != 0])
+		s.Apply(store.Put{Key: DocKey(i), Value: []byte(body)})
+	}
+	return s
+}
+
+// Keys draws catalog indexes with Zipf popularity.
+type Keys struct {
+	zipf *rand.Zipf
+	n    int
+}
+
+// NewKeys creates a Zipf(1.1) popularity distribution over n keys.
+func NewKeys(rng *rand.Rand, n int) *Keys {
+	return &Keys{zipf: rand.NewZipf(rng, 1.1, 1, uint64(n-1)), n: n}
+}
+
+// Next returns the next key index.
+func (k *Keys) Next() int { return int(k.zipf.Uint64()) }
+
+// Mix describes the query mix as weights; they need not sum to one.
+type Mix struct {
+	Get    float64 // point lookup (static read)
+	Range  float64 // ordered scan
+	Count  float64 // aggregation
+	Sum    float64 // aggregation
+	Grep   float64 // file search
+	Prefix float64 // listing
+}
+
+// DefaultMix is the read-heavy catalogue mix: mostly point reads with a
+// meaningful tail of dynamic queries.
+func DefaultMix() Mix {
+	return Mix{Get: 0.70, Range: 0.08, Count: 0.07, Sum: 0.07, Grep: 0.05, Prefix: 0.03}
+}
+
+// StaticOnly is a mix of point reads only (state-signing's sweet spot).
+func StaticOnly() Mix { return Mix{Get: 1} }
+
+// Gen generates queries from a mix over the standard content layout.
+type Gen struct {
+	rng      *rand.Rand
+	keys     *Keys
+	mix      Mix
+	total    float64
+	nCatalog int
+	nDocs    int
+}
+
+// NewGen creates a generator; nCatalog/nDocs must match BuildContent.
+func NewGen(rng *rand.Rand, mix Mix, nCatalog, nDocs int) *Gen {
+	return &Gen{
+		rng:      rng,
+		keys:     NewKeys(rng, nCatalog),
+		mix:      mix,
+		total:    mix.Get + mix.Range + mix.Count + mix.Sum + mix.Grep + mix.Prefix,
+		nCatalog: nCatalog,
+		nDocs:    nDocs,
+	}
+}
+
+// Next draws the next query.
+func (g *Gen) Next() query.Query {
+	x := g.rng.Float64() * g.total
+	switch {
+	case x < g.mix.Get:
+		return query.Get{Key: CatalogKey(g.keys.Next())}
+	case x < g.mix.Get+g.mix.Range:
+		lo := g.keys.Next()
+		return query.Range{From: CatalogKey(lo), To: CatalogKey(lo + 10), Limit: 10}
+	case x < g.mix.Get+g.mix.Range+g.mix.Count:
+		return query.Count{P: "catalog/"}
+	case x < g.mix.Get+g.mix.Range+g.mix.Count+g.mix.Sum:
+		return query.Sum{P: "catalog/"}
+	case x < g.mix.Get+g.mix.Range+g.mix.Count+g.mix.Sum+g.mix.Grep:
+		pats := []string{"price", "active", "doc0", "status"}
+		return query.Grep{Pattern: pats[g.rng.Intn(len(pats))], PathPrefix: "docs/"}
+	default:
+		return query.Prefix{P: "docs/", Limit: 20}
+	}
+}
+
+// IsStatic reports whether q is verifiable from signed state alone (a
+// point read); everything else is "dynamic" in the paper's sense.
+func IsStatic(q query.Query) bool {
+	_, ok := q.(query.Get)
+	return ok
+}
+
+// NextWrite draws a write op (a price update on a Zipf-popular key).
+func (g *Gen) NextWrite(seq int) store.Op {
+	return store.Put{
+		Key:   CatalogKey(g.keys.Next()),
+		Value: []byte(fmt.Sprintf("%d", 100+seq)),
+	}
+}
+
+// Arrivals produces inter-arrival gaps.
+type Arrivals interface {
+	// NextGap returns the time until the next arrival, given the current
+	// elapsed time since the workload started.
+	NextGap(elapsed time.Duration) time.Duration
+}
+
+// Poisson is a constant-rate memoryless arrival process.
+type Poisson struct {
+	Rate float64 // arrivals per second
+	Rng  *rand.Rand
+}
+
+// NextGap implements Arrivals.
+func (p Poisson) NextGap(time.Duration) time.Duration {
+	if p.Rate <= 0 {
+		return time.Hour
+	}
+	gap := p.Rng.ExpFloat64() / p.Rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// Uniform spaces arrivals evenly.
+type Uniform struct {
+	Every time.Duration
+}
+
+// NextGap implements Arrivals.
+func (u Uniform) NextGap(time.Duration) time.Duration { return u.Every }
+
+// Diurnal modulates a Poisson process with a sinusoidal day profile:
+// rate(t) = Base + Amplitude * max(0, sin(2π t/Day - phase)). With the
+// default phase the trough ("3AM in the night", §3.4) is at t=0 and the
+// peak at half a Day.
+type Diurnal struct {
+	Base      float64 // floor arrivals/sec (never zero to keep progress)
+	Amplitude float64 // peak addition at the top of the day
+	Day       time.Duration
+	Rng       *rand.Rand
+}
+
+// RateAt returns the instantaneous arrival rate at elapsed time t.
+func (d Diurnal) RateAt(t time.Duration) float64 {
+	frac := math.Mod(float64(t)/float64(d.Day), 1.0)
+	// Shift so the minimum is at t=0.
+	s := math.Sin(2*math.Pi*frac - math.Pi/2)
+	return d.Base + d.Amplitude*(s+1)/2
+}
+
+// NextGap implements Arrivals.
+func (d Diurnal) NextGap(elapsed time.Duration) time.Duration {
+	rate := d.RateAt(elapsed)
+	if rate <= 0 {
+		rate = 0.01
+	}
+	gap := d.Rng.ExpFloat64() / rate
+	return time.Duration(gap * float64(time.Second))
+}

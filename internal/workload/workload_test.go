@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+func TestBuildContentLayout(t *testing.T) {
+	s := BuildContent(100, 10)
+	if s.Len() != 110 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if v, ok := s.Get(CatalogKey(0)); !ok || string(v) != "100" {
+		t.Fatalf("catalog[0] = %q ok=%v", v, ok)
+	}
+	if _, ok := s.Get(DocKey(9)); !ok {
+		t.Fatal("doc missing")
+	}
+	// Content is deterministic.
+	if BuildContent(100, 10).StateDigest() != s.StateDigest() {
+		t.Fatal("content not deterministic")
+	}
+}
+
+func TestKeysZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := NewKeys(rng, 1000)
+	counts := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		counts[k.Next()]++
+	}
+	if counts[0] < counts[500]*2 {
+		t.Fatalf("no zipf skew: head=%d mid=%d", counts[0], counts[500])
+	}
+}
+
+func TestGenRespectsStaticOnlyMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGen(rng, StaticOnly(), 100, 10)
+	for i := 0; i < 200; i++ {
+		if !IsStatic(g.Next()) {
+			t.Fatal("static-only mix produced dynamic query")
+		}
+	}
+}
+
+func TestGenMixProportions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGen(rng, DefaultMix(), 100, 10)
+	static := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if IsStatic(g.Next()) {
+			static++
+		}
+	}
+	frac := float64(static) / n
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("static fraction = %v, want ~0.70", frac)
+	}
+}
+
+func TestGenQueriesExecutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := BuildContent(100, 10)
+	g := NewGen(rng, DefaultMix(), 100, 10)
+	for i := 0; i < 300; i++ {
+		q := g.Next()
+		if _, err := q.Execute(s); err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+	}
+}
+
+func TestNextWriteTargetsCatalog(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewGen(rng, DefaultMix(), 100, 10)
+	s := BuildContent(100, 10)
+	for i := 0; i < 50; i++ {
+		if err := s.Apply(g.NextWrite(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 110 {
+		t.Fatalf("writes created keys outside the catalog: len=%d", s.Len())
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := Poisson{Rate: 100, Rng: rng}
+	var total time.Duration
+	const n = 5000
+	for i := 0; i < n; i++ {
+		total += p.NextGap(0)
+	}
+	mean := total / n
+	want := 10 * time.Millisecond
+	if mean < want/2 || mean > want*2 {
+		t.Fatalf("mean gap = %v, want ~%v", mean, want)
+	}
+}
+
+func TestUniformGap(t *testing.T) {
+	u := Uniform{Every: 7 * time.Millisecond}
+	if u.NextGap(0) != 7*time.Millisecond {
+		t.Fatal("uniform gap wrong")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Base: 1, Amplitude: 10, Day: 24 * time.Hour}
+	trough := d.RateAt(0)
+	peak := d.RateAt(12 * time.Hour)
+	if trough != 1 {
+		t.Fatalf("trough rate = %v, want 1", trough)
+	}
+	if peak < 10.9 || peak > 11.1 {
+		t.Fatalf("peak rate = %v, want ~11", peak)
+	}
+	// Next day repeats.
+	if d.RateAt(36*time.Hour) != peak {
+		t.Fatalf("not periodic")
+	}
+}
+
+func TestDiurnalGapsFollowRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := Diurnal{Base: 1, Amplitude: 50, Day: time.Hour, Rng: rng}
+	gapAt := func(t0 time.Duration) time.Duration {
+		var total time.Duration
+		for i := 0; i < 500; i++ {
+			total += d.NextGap(t0)
+		}
+		return total / 500
+	}
+	if gapAt(0) < 2*gapAt(30*time.Minute) {
+		t.Fatalf("trough gaps (%v) should be much larger than peak gaps (%v)",
+			gapAt(0), gapAt(30*time.Minute))
+	}
+}
+
+func TestIsStatic(t *testing.T) {
+	if !IsStatic(query.Get{Key: "x"}) {
+		t.Fatal("get not static")
+	}
+	if IsStatic(query.Count{P: "x"}) || IsStatic(query.Grep{Pattern: "a"}) {
+		t.Fatal("dynamic classified static")
+	}
+}
