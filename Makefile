@@ -1,0 +1,27 @@
+# Tier-1 verification and the perf trajectory.
+#
+#   make verify     — build, vet, full test suite under the race
+#                     detector, then the E15 batch-throughput benchmark
+#                     emitting BENCH_e15.json (the perf trajectory record).
+
+GO ?= go
+
+.PHONY: verify build vet race bench-e15 bench
+
+verify: build vet race bench-e15
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-e15:
+	$(GO) test -run '^$$' -bench BenchmarkE15 -benchtime 1x -json . > BENCH_e15.json
+	@grep -c '"Action"' BENCH_e15.json >/dev/null && echo "wrote BENCH_e15.json"
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

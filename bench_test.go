@@ -56,6 +56,39 @@ func BenchmarkE11Sensitive(b *testing.B)    { benchExperiment(b, "E11") }
 func BenchmarkE12StateSign(b *testing.B)    { benchExperiment(b, "E12") }
 func BenchmarkE13CostAblation(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkE14Recovery(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkE15Batch(b *testing.B)        { benchExperiment(b, "E15") }
+
+// BenchmarkBatchUpdateVerify measures the slave-side cost of one batched
+// commit: one signature verification plus per-op membership proofs.
+func BenchmarkBatchUpdateVerify(b *testing.B) {
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch%d", n), func(b *testing.B) {
+			ops := make([][]byte, n)
+			for i := range ops {
+				ops[i] = store.EncodeOp(store.Put{
+					Key: workload.CatalogKey(i), Value: []byte("value"),
+				})
+			}
+			first := uint64(10)
+			tree := core.BatchTree(first, ops)
+			stamp := core.SignBatchStamp(master, first+uint64(n)-1, time.Unix(0, 0).UTC(), tree.Root())
+			proofs := make([]merkle.Proof, n)
+			for i := range ops {
+				proofs[i], _ = tree.Prove(i)
+			}
+			bu := core.BatchUpdate{First: first, Ops: ops, Proofs: proofs, Stamp: stamp}
+			trusted := []cryptoutil.PublicKey{master.Public}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bu.Verify(trusted); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- Micro-benchmarks: protocol primitives --------------------------------
 

@@ -7,6 +7,7 @@
 //	replsim -exp E1,E7 [-seed 42] [-scale 1] [-markdown]
 //	replsim -all
 //	replsim -scenario -masters 3 -slaves 4 -clients 8 -liars 2 -duration 2m
+//	replsim -scenario -clients 16 -writeevery 2 -batch 16 -maxlatency 10ms
 package main
 
 import (

@@ -27,6 +27,8 @@ type scenarioFlags struct {
 	duration   *time.Duration
 	readRate   *float64
 	writeEvery *int
+	batch      *int
+	batchWait  *time.Duration
 }
 
 func registerScenarioFlags() scenarioFlags {
@@ -41,6 +43,8 @@ func registerScenarioFlags() scenarioFlags {
 		duration:   flag.Duration("duration", time.Minute, "scenario: virtual run time"),
 		readRate:   flag.Float64("readrate", 5, "scenario: reads/s per client"),
 		writeEvery: flag.Int("writeevery", 50, "scenario: one write per this many reads (0 = none)"),
+		batch:      flag.Int("batch", 1, "scenario: master write-batch size (1 = unbatched)"),
+		batchWait:  flag.Duration("batchwait", 0, "scenario: batch flush timeout (0 = max_latency/4)"),
 	}
 }
 
@@ -51,6 +55,8 @@ func runScenario(seed int64, f scenarioFlags) {
 	cfg.SlavesPerMaster = *f.slaves
 	cfg.Params.DoubleCheckP = *f.checkProb
 	cfg.Params.MaxLatency = *f.maxLatency
+	cfg.BatchSize = *f.batch
+	cfg.BatchTimeout = *f.batchWait
 	cfg.SlaveBehaviors = map[int]core.Behavior{}
 	for i := 0; i < *f.liars && i < *f.masters**f.slaves; i++ {
 		cfg.SlaveBehaviors[i] = core.LieWithProb{P: *f.lieProb}
@@ -96,9 +102,9 @@ func runScenario(seed int64, f scenarioFlags) {
 	as := sc.Auditor.Stats()
 
 	t := metrics.NewTable(
-		fmt.Sprintf("scenario: %dm x %ds/m, %d clients, %d liars (q=%.2f), p=%.2f, max_latency=%v, %v virtual",
+		fmt.Sprintf("scenario: %dm x %ds/m, %d clients, %d liars (q=%.2f), p=%.2f, max_latency=%v, batch=%d, %v virtual",
 			cfg.NMasters, cfg.SlavesPerMaster, *f.clients, *f.liars, *f.lieProb,
-			*f.checkProb, *f.maxLatency, *f.duration),
+			*f.checkProb, *f.maxLatency, *f.batch, *f.duration),
 		"metric", "value")
 	t.Add("reads accepted", cs.ReadsAccepted)
 	t.Add("lies accepted (ground truth)", cs.LiesAccepted)
@@ -108,6 +114,7 @@ func runScenario(seed int64, f scenarioFlags) {
 	t.Add("double-checks", cs.DoubleChecks)
 	t.Add("liars caught red-handed", cs.CaughtImmediate)
 	t.Add("writes committed", cs.WritesOK)
+	t.Add("write batches (= signatures)", ms.BatchesApplied)
 	t.Add("write pacing waits", ms.WritePacingWaits)
 	t.Add("exclusions", ms.Exclusions)
 	t.Add("client reassignments", cs.Reassignments)

@@ -174,18 +174,40 @@ func (a *Auditor) Handle(from, method string, body []byte) ([]byte, error) {
 // §3.4) and ignores membership messages.
 func (a *Auditor) deliver(seq uint64, msg []byte) {
 	r := wire.NewReader(msg)
-	if r.Byte() != bcWrite {
-		return
-	}
-	_ = r.String() // write id, unused here
-	wr, err := DecodeWriteRequest(r)
-	if err != nil {
+	var opsBytes [][]byte
+	switch r.Byte() {
+	case bcWrite:
+		_ = r.String() // write id, unused here
+		wr, err := DecodeWriteRequest(r)
+		if err != nil {
+			return
+		}
+		if _, err := store.DecodeOp(wr.OpBytes); err != nil {
+			return // masters skip undecodable ops without a version
+		}
+		opsBytes = [][]byte{wr.OpBytes}
+	case bcBatch:
+		batch, err := decodeBatchMessage(r)
+		if err != nil {
+			return
+		}
+		for _, bw := range batch {
+			// Mirror the masters' deterministic skip of undecodable ops
+			// so the auditor's version numbering stays aligned.
+			if _, err := store.DecodeOp(bw.wr.OpBytes); err != nil {
+				continue
+			}
+			opsBytes = append(opsBytes, bw.wr.OpBytes)
+		}
+	default:
 		return
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.masterV++
-	a.writes[a.masterV] = bufferedWrite{opBytes: wr.OpBytes, receivedAt: a.rt.Now()}
+	for _, opBytes := range opsBytes {
+		a.masterV++
+		a.writes[a.masterV] = bufferedWrite{opBytes: opBytes, receivedAt: a.rt.Now()}
+	}
 	if lag := a.masterV - a.replica.Version(); lag > a.stats.VersionLagMax {
 		a.stats.VersionLagMax = lag
 	}

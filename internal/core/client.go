@@ -307,6 +307,61 @@ func (c *Client) Write(op store.Op) (uint64, error) {
 	return 0, rpc.ErrUnreachable
 }
 
+// WriteMulti submits ops concurrently — the pipelined commit-wait. A
+// batching master coalesces the overlapping requests into batched
+// commits, so n pipelined writes cost ~n/BatchSize signatures instead
+// of n. It waits for every commit and returns the assigned versions in
+// submission order; the first failure is returned after all writes
+// settle.
+func (c *Client) WriteMulti(ops []store.Op) ([]uint64, error) {
+	versions := make([]uint64, len(ops))
+	errs := make([]error, len(ops))
+	if s, ok := c.rt.(*sim.Sim); ok {
+		// Virtual time: spawn a task per write and await promises, so
+		// the scheduler sees every waiter.
+		promises := make([]*sim.Promise, len(ops))
+		for i := range ops {
+			promises[i] = s.NewPromise()
+		}
+		for i, op := range ops {
+			i, op := i, op
+			c.rt.Spawn(func() {
+				v, err := c.Write(op)
+				if err != nil {
+					promises[i].Reject(err)
+					return
+				}
+				promises[i].Resolve(v)
+			})
+		}
+		for i := range ops {
+			v, err := promises[i].Future().Await()
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			versions[i] = v.(uint64)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, op := range ops {
+			i, op := i, op
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				versions[i], errs[i] = c.Write(op)
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return versions, err
+		}
+	}
+	return versions, nil
+}
+
 // Read executes q through the untrusted read protocol (§3.2) with the
 // configured double-check probability.
 func (c *Client) Read(q query.Query) ([]byte, error) {

@@ -37,6 +37,8 @@ type clusterOpts struct {
 	params         Params
 	slaveBehaviors map[int]Behavior // index into global slave list
 	latency        sim.Latency
+	batchSize      int
+	batchTimeout   time.Duration
 }
 
 func defaultOpts() clusterOpts {
@@ -92,17 +94,19 @@ func newTestCluster(t *testing.T, s *sim.Sim, o clusterOpts) *testCluster {
 		c.dir.Publish(c.owner.Public, cert)
 
 		m, err := NewMaster(MasterConfig{
-			Addr:        masterAddrs[i],
-			Keys:        masterKeys[i],
-			Params:      o.params,
-			ContentKey:  c.owner.Public,
-			Peers:       peers,
-			AuditorAddr: auditorAddr,
-			AuditorPub:  auditorKeys.Public,
-			ACL:         c.acl,
-			Directory:   c.bound,
-			CPU:         s.NewResource(masterAddrs[i]+"/cpu", 1),
-			Seed:        int64(1000 + i),
+			Addr:         masterAddrs[i],
+			Keys:         masterKeys[i],
+			Params:       o.params,
+			ContentKey:   c.owner.Public,
+			Peers:        peers,
+			AuditorAddr:  auditorAddr,
+			AuditorPub:   auditorKeys.Public,
+			ACL:          c.acl,
+			Directory:    c.bound,
+			CPU:          s.NewResource(masterAddrs[i]+"/cpu", 1),
+			Seed:         int64(1000 + i),
+			BatchSize:    o.batchSize,
+			BatchTimeout: o.batchTimeout,
 		}, s, c.net.Dialer(masterAddrs[i]), c.initial)
 		if err != nil {
 			t.Fatal(err)

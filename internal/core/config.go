@@ -20,9 +20,10 @@ const (
 	MethodSnapshot = "m.snapshot" // slave -> master: full state transfer (bootstrap/recovery)
 
 	// Slave methods.
-	MethodUpdate    = "s.update"    // master -> slave: committed write + stamp
-	MethodKeepAlive = "s.keepalive" // master -> slave: stamp heartbeat
-	MethodRead      = "s.read"      // client -> slave: execute a query
+	MethodUpdate      = "s.update"      // master -> slave: committed write + stamp
+	MethodUpdateBatch = "s.updatebatch" // master -> slave: batched commit + batch stamp
+	MethodKeepAlive   = "s.keepalive"   // master -> slave: stamp heartbeat
+	MethodRead        = "s.read"        // client -> slave: execute a query
 
 	// Auditor methods.
 	MethodPledge = "a.pledge" // client -> auditor: forward accepted pledge

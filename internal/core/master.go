@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/cryptoutil"
+	"repro/internal/merkle"
 	"repro/internal/pki"
 	"repro/internal/query"
 	"repro/internal/rpc"
@@ -25,13 +26,17 @@ const (
 	bcAdopt
 	bcExclude
 	bcReadmit
+	bcBatch // batched writes: one frame, one signature, many versions
 )
 
 // MasterStats counts a master's activity.
 type MasterStats struct {
 	WritesAdmitted   uint64
 	WritesApplied    uint64
-	WritePacingWaits uint64 // writes delayed by the max_latency spacing rule
+	BatchesApplied   uint64 // batched commits (each = one signature)
+	BatchFlushFull   uint64 // batches flushed because they reached BatchSize
+	BatchFlushTimer  uint64 // batches flushed by the BatchTimeout timer
+	WritePacingWaits uint64 // batches delayed by the max_latency spacing rule
 	DoubleChecks     uint64
 	DoubleChecksDrop uint64 // dropped due to greedy-client throttling
 	SensitiveReads   uint64
@@ -71,6 +76,15 @@ type MasterConfig struct {
 	// SlaveListEvery is how often the master broadcasts its slave list
 	// (0 = 4x KeepAliveEvery).
 	SlaveListEvery time.Duration
+	// BatchSize is the maximum number of concurrent writes accumulated
+	// into one batched commit (one signature, one broadcast, one slave
+	// update). <=1 disables accumulation: every write commits alone,
+	// exactly as the unbatched protocol.
+	BatchSize int
+	// BatchTimeout bounds how long the first write in a batch waits for
+	// company before a short batch is flushed anyway (0 = MaxLatency/4).
+	// Irrelevant when BatchSize <= 1.
+	BatchTimeout time.Duration
 }
 
 type slaveEntry struct {
@@ -99,11 +113,13 @@ type Master struct {
 
 	mu          sync.Mutex
 	store       *store.Store
-	baseVersion uint64         // content version the deployment started at
-	opLog       [][]byte       // opLog[v-baseVersion-1] = op for version v
-	stampLog    []VersionStamp // stampLog[v-baseVersion-1] = its update stamp
+	baseVersion uint64     // content version the deployment started at
+	log         []OpRecord // log[v-baseVersion-1] = committed op + evidence for v
 	lastCommit  time.Time
 	nextWriteAt time.Time
+	batchQueue  []batchWaiter // admitted writes awaiting the next flush
+	batchGen    uint64        // flush generation (dedups timer flushes)
+	batchTimer  bool          // a timeout flush is scheduled
 	slaves      []slaveEntry
 	clients     map[string]*clientEntry // key: client pub
 	peerSlaves  map[string][]slaveEntry // other masters' slave sets
@@ -123,6 +139,12 @@ type Master struct {
 func NewMaster(cfg MasterConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.Store) (*Master, error) {
 	if cfg.SlaveListEvery == 0 {
 		cfg.SlaveListEvery = 4 * cfg.Params.KeepAliveEvery
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = cfg.Params.MaxLatency / 4
 	}
 	m := &Master{
 		cfg:         cfg,
@@ -243,6 +265,21 @@ func (m *Master) Handle(from, method string, body []byte) ([]byte, error) {
 }
 
 // --- Write path ----------------------------------------------------------
+//
+// Writes flow through a batched, pipelined commit path. handleWrite
+// admits a request (signature + ACL) and enqueues it in the batch
+// accumulator; the batch flushes when it reaches BatchSize or when
+// BatchTimeout elapses, whichever first. One flush produces one ordered
+// broadcast, one batch-root signature, and one update push per slave —
+// amortizing the dominant per-write signing cost (§3.4) across every
+// member of the batch while preserving the exact version sequence and
+// store digest that sequential commits would produce.
+
+// batchWaiter is one admitted write queued for the next flush.
+type batchWaiter struct {
+	id string
+	wr WriteRequest
+}
 
 func (m *Master) handleWrite(body []byte) ([]byte, error) {
 	r := wire.NewReader(body)
@@ -260,10 +297,92 @@ func (m *Master) handleWrite(body []byte) ([]byte, error) {
 	if m.cfg.ACL != nil && !m.cfg.ACL.Permits(wr.ClientPub) {
 		return nil, ErrDenied
 	}
+	// Reject undecodable ops at admission so a batch never carries one.
+	if _, err := store.DecodeOp(wr.OpBytes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDenied, err)
+	}
 
-	// §3.1: two writes cannot be closer than max_latency; this master
-	// paces its own admissions.
 	m.mu.Lock()
+	m.stats.WritesAdmitted++
+	id := fmt.Sprintf("%s/%d", m.cfg.Addr, m.stats.WritesAdmitted)
+	m.mu.Unlock()
+
+	// Register for our own delivery before the batch can possibly flush.
+	handle := m.registerPending(id)
+	if err := m.enqueueWrite(batchWaiter{id: id, wr: wr}); err != nil {
+		m.cancelPending(id)
+		return nil, err
+	}
+	version, err := m.awaitCommit(id, handle)
+	if err != nil {
+		return nil, err
+	}
+	if version == 0 {
+		// The commit pipeline dropped this write (broadcast failure
+		// observed at delivery); committed versions are always >= 1.
+		return nil, fmt.Errorf("core: write %s was not committed", id)
+	}
+	out := wire.NewWriter(16)
+	out.Uvarint(version)
+	return out.Bytes(), nil
+}
+
+// enqueueWrite adds an admitted write to the accumulator and flushes if
+// the batch is full. A short batch is flushed by a timer after
+// BatchTimeout; with BatchSize <= 1 every write flushes immediately and
+// the path degenerates to the unbatched protocol.
+func (m *Master) enqueueWrite(bw batchWaiter) error {
+	m.mu.Lock()
+	m.batchQueue = append(m.batchQueue, bw)
+	full := len(m.batchQueue) >= m.cfg.BatchSize
+	startTimer := !full && !m.batchTimer
+	if startTimer {
+		m.batchTimer = true
+	}
+	gen := m.batchGen
+	m.mu.Unlock()
+
+	if full {
+		return m.flushBatch(gen, false)
+	}
+	if startTimer {
+		m.rt.Spawn(func() {
+			if m.rt.Sleep(m.cfg.BatchTimeout) != nil {
+				return
+			}
+			m.mu.Lock()
+			m.batchTimer = false
+			fire := m.batchGen == gen && len(m.batchQueue) > 0
+			m.mu.Unlock()
+			if fire {
+				m.flushBatch(gen, true)
+			}
+		})
+	}
+	return nil
+}
+
+// flushBatch takes the accumulated batch (if gen still names it), paces
+// it by the §3.1 spacing rule — one max_latency slot per commit event,
+// which a batch is — and submits it to the ordered broadcast.
+func (m *Master) flushBatch(gen uint64, byTimer bool) error {
+	m.mu.Lock()
+	if m.batchGen != gen || len(m.batchQueue) == 0 {
+		m.mu.Unlock()
+		return nil // another flush won the race
+	}
+	batch := m.batchQueue
+	m.batchQueue = nil
+	m.batchGen++
+	m.batchTimer = false
+	if byTimer {
+		m.stats.BatchFlushTimer++
+	} else {
+		m.stats.BatchFlushFull++
+	}
+
+	// §3.1: two commits cannot be closer than max_latency; the batch
+	// commits atomically, so it occupies a single spacing slot.
 	now := m.rt.Now()
 	wait := time.Duration(0)
 	if m.nextWriteAt.After(now) {
@@ -274,32 +393,37 @@ func (m *Master) handleWrite(body []byte) ([]byte, error) {
 		m.nextWriteAt = now
 	}
 	m.nextWriteAt = m.nextWriteAt.Add(m.cfg.Params.MaxLatency)
-	m.stats.WritesAdmitted++
-	id := fmt.Sprintf("%s/%d", m.cfg.Addr, m.stats.WritesAdmitted)
 	m.mu.Unlock()
 	if wait > 0 {
 		if err := m.rt.Sleep(wait); err != nil {
-			return nil, err
+			m.failBatch(batch)
+			return err
 		}
 	}
 
-	// Register for our own delivery before broadcasting.
-	handle := m.registerPending(id)
-	w := wire.NewWriter(len(body) + 32)
-	w.Byte(bcWrite)
-	w.String_(id)
-	wr.Encode(w)
+	elems := make([][]byte, len(batch))
+	for i, bw := range batch {
+		ew := wire.NewWriter(len(bw.wr.OpBytes) + 128)
+		ew.String_(bw.id)
+		bw.wr.Encode(ew)
+		elems[i] = ew.Bytes()
+	}
+	w := wire.NewWriter(64)
+	w.Byte(bcBatch)
+	w.BytesSlice(elems)
 	if err := m.bcast.Broadcast(w.Bytes()); err != nil {
-		m.cancelPending(id)
-		return nil, err
+		m.failBatch(batch)
+		return err
 	}
-	version, err := m.awaitCommit(id, handle)
-	if err != nil {
-		return nil, err
+	return nil
+}
+
+// failBatch releases every waiter of a batch that could not be
+// broadcast; version 0 marks "not committed".
+func (m *Master) failBatch(batch []batchWaiter) {
+	for _, bw := range batch {
+		m.resolvePending(bw.id, 0)
 	}
-	out := wire.NewWriter(16)
-	out.Uvarint(version)
-	return out.Bytes(), nil
 }
 
 // commitHandle is what a write waiter holds: a promise in virtual time or
@@ -330,12 +454,34 @@ func (m *Master) cancelPending(id string) {
 	delete(m.pendingCh, id)
 }
 
+// cancelQueued removes a write that is still waiting in the batch
+// accumulator; it reports whether the write was withdrawn before any
+// flush took it.
+func (m *Master) cancelQueued(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, bw := range m.batchQueue {
+		if bw.id == id {
+			m.batchQueue = append(m.batchQueue[:i], m.batchQueue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 func (m *Master) awaitCommit(id string, h commitHandle) (uint64, error) {
 	if h.ch != nil {
 		select {
 		case v := <-h.ch:
 			return v, nil
 		case <-time.After(m.cfg.Params.ReadTimeout):
+			// Withdraw from the accumulator first: a write removed while
+			// still queued is guaranteed never to commit, so the client's
+			// timeout error is truthful and a retry cannot double-apply.
+			// One already flushed is past the point of no return and may
+			// still commit (the same window the unbatched protocol had
+			// between broadcast and delivery).
+			m.cancelQueued(id)
 			m.cancelPending(id)
 			return 0, rpc.ErrTimeout
 		}
@@ -369,12 +515,19 @@ func (m *Master) deliver(seq uint64, msg []byte) {
 	kind := r.Byte()
 	switch kind {
 	case bcWrite:
+		// Legacy single-write frame: committed as a batch of one.
 		id := r.String()
 		wr, err := DecodeWriteRequest(r)
 		if err != nil {
 			return
 		}
-		m.applyWrite(id, wr)
+		m.applyBatch([]batchWaiter{{id: id, wr: wr}})
+	case bcBatch:
+		batch, err := decodeBatchMessage(r)
+		if err != nil {
+			return
+		}
+		m.applyBatch(batch)
 	case bcSlaveList:
 		masterAddr := r.String()
 		n := r.Uvarint()
@@ -400,40 +553,132 @@ func (m *Master) deliver(seq uint64, msg []byte) {
 	}
 }
 
-func (m *Master) applyWrite(id string, wr WriteRequest) {
-	op, err := store.DecodeOp(wr.OpBytes)
-	if err != nil {
-		m.resolvePending(id, 0)
-		return
+// decodeBatchMessage parses a bcBatch broadcast body (after the kind
+// byte).
+func decodeBatchMessage(r *wire.Reader) ([]batchWaiter, error) {
+	elems := r.BytesSlice()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	batch := make([]batchWaiter, 0, len(elems))
+	for _, e := range elems {
+		er := wire.NewReader(e)
+		id := er.String()
+		wr, err := DecodeWriteRequest(er)
+		if err != nil {
+			return nil, err
+		}
+		if err := er.Done(); err != nil {
+			return nil, err
+		}
+		batch = append(batch, batchWaiter{id: id, wr: wr})
+	}
+	return batch, nil
+}
+
+// applyBatch executes one delivered commit — a batch of one or more
+// writes — identically on every master: apply each op in order (one
+// version per op, exactly the sequence sequential commits would
+// produce), then sign a single stamp over the batch and push a single
+// update per slave. Undecodable ops are skipped deterministically (every
+// replica runs the same check), so replicas stay in lock-step.
+func (m *Master) applyBatch(batch []batchWaiter) {
+	type appliedOp struct {
+		id      string
+		opBytes []byte
 	}
 	m.mu.Lock()
-	m.store.Apply(op)
-	m.opLog = append(m.opLog, wr.OpBytes)
-	version := m.store.Version()
-	// Lazy slave update (§3.1): a fresh signed stamp binding the op
-	// bytes, retained for later slave syncs.
-	stamp := SignStampWithOp(m.cfg.Keys, version, m.rt.Now(), wr.OpBytes)
-	m.stampLog = append(m.stampLog, stamp)
-	m.lastCommit = m.rt.Now()
-	m.stats.WritesApplied++
+	first := m.store.Version() + 1
+	applied := make([]appliedOp, 0, len(batch))
+	ops := make([][]byte, 0, len(batch))
+	for _, bw := range batch {
+		op, err := store.DecodeOp(bw.wr.OpBytes)
+		if err != nil {
+			defer m.resolvePending(bw.id, 0)
+			continue
+		}
+		m.store.Apply(op)
+		applied = append(applied, appliedOp{id: bw.id, opBytes: bw.wr.OpBytes})
+		ops = append(ops, bw.wr.OpBytes)
+	}
+	if len(applied) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	last := m.store.Version()
+
+	// One signature per batch (§3.4 amortization): a per-op update stamp
+	// when the batch is a singleton — byte-compatible with the unbatched
+	// protocol — or a batch-root stamp plus per-op membership proofs.
+	now := m.rt.Now()
+	var stamp VersionStamp
+	var proofs []merkle.Proof
+	if len(applied) == 1 {
+		stamp = SignStampWithOp(m.cfg.Keys, last, now, applied[0].opBytes)
+		proofs = []merkle.Proof{{}}
+	} else {
+		tree := BatchTree(first, ops)
+		stamp = SignBatchStamp(m.cfg.Keys, last, now, tree.Root())
+		proofs = make([]merkle.Proof, len(applied))
+		for i := range applied {
+			p, err := tree.Prove(i)
+			if err != nil {
+				// Unreachable: i indexes the tree we just built.
+				m.mu.Unlock()
+				m.failBatch(batch)
+				return
+			}
+			proofs[i] = p
+		}
+	}
+	count := uint64(len(applied))
+	for i, a := range applied {
+		m.log = append(m.log, OpRecord{
+			Version: first + uint64(i), OpBytes: a.opBytes,
+			Stamp: stamp, First: first, Count: count, Proof: proofs[i],
+		})
+	}
+	m.lastCommit = now
+	m.stats.WritesApplied += count
+	m.stats.BatchesApplied++
 	slaves := append([]slaveEntry(nil), m.slaves...)
 	m.mu.Unlock()
-	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
-	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.QueryBase) // apply cost
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign) // once per batch
+	var opBytesTotal int
+	for _, o := range ops {
+		opBytesTotal += len(o)
+	}
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.BatchOverhead(len(ops), opBytesTotal))
+	for range applied {
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.QueryBase) // apply cost
+	}
 
-	m.resolvePending(id, version)
+	for i, a := range applied {
+		m.resolvePending(a.id, first+uint64(i))
+	}
 
-	w := wire.NewWriter(len(wr.OpBytes) + 128)
-	w.Uvarint(version)
-	w.Bytes_(wr.OpBytes)
-	stamp.Encode(w)
-	w.String_(m.cfg.Addr)
-	frame := w.Bytes()
+	// Single lazy update per slave (§3.1), whatever the batch size.
+	var frame []byte
+	method := MethodUpdateBatch
+	if len(applied) == 1 {
+		w := wire.NewWriter(len(applied[0].opBytes) + 128)
+		w.Uvarint(last)
+		w.Bytes_(applied[0].opBytes)
+		stamp.Encode(w)
+		w.String_(m.cfg.Addr)
+		frame = w.Bytes()
+		method = MethodUpdate
+	} else {
+		frame = EncodeBatchUpdate(BatchUpdate{
+			First: first, Ops: ops, Proofs: proofs,
+			Stamp: stamp, MasterAddr: m.cfg.Addr,
+		})
+	}
 	for _, sl := range slaves {
 		sl := sl
 		m.rt.Spawn(func() {
 			chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.SendReply)
-			m.dlr.CallTimeout(sl.addr, MethodUpdate, frame, m.cfg.Params.ReadTimeout)
+			m.dlr.CallTimeout(sl.addr, method, frame, m.cfg.Params.ReadTimeout)
 			m.mu.Lock()
 			m.stats.UpdatesSent++
 			m.mu.Unlock()
@@ -690,33 +935,65 @@ func (m *Master) reassignClientsOf(slaveAddr string, excl pki.Exclusion) {
 
 // --- Slave sync --------------------------------------------------------------
 
+// handleSync replays missed history. The request is the first wanted
+// version, optionally followed by a protocol byte: 1 selects the v2
+// reply, a sequence of OpRecords that carry batch stamps and membership
+// proofs, so a multi-op commit is replayed under its single signature.
+// The version-less request gets the original per-op-stamp reply; ops
+// that were committed inside a batch get an equivalent per-op stamp
+// signed lazily (cold path — the hot path stays amortized).
 func (m *Master) handleSync(body []byte) ([]byte, error) {
 	r := wire.NewReader(body)
 	from := r.Uvarint()
+	v2 := r.Remaining() > 0 && r.Byte() == 1
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.stats.SyncsServed++
-	w := wire.NewWriter(1024)
 	cur := m.store.Version()
 	if from <= m.baseVersion {
 		// History below the deployment's base is not replayable; replicas
 		// start from the same initial content, so this cannot happen for
 		// well-behaved slaves.
+		m.mu.Unlock()
 		return nil, fmt.Errorf("core: sync from version %d predates base %d", from, m.baseVersion)
 	}
-	n := uint64(0)
+	var recs []OpRecord
 	if cur >= from {
-		n = cur - from + 1
+		recs = append(recs, m.log[from-m.baseVersion-1:cur-m.baseVersion]...)
 	}
-	w.Uvarint(n)
-	for v := from; v <= cur; v++ {
-		idx := v - m.baseVersion - 1
-		w.Uvarint(v)
-		w.Bytes_(m.opLog[idx])
-		m.stampLog[idx].Encode(w)
+	m.mu.Unlock()
+
+	if !v2 {
+		// Legacy caller: downgrade batch evidence to equivalent per-op
+		// stamps, signed on demand and memoized. chargeCPU can park the
+		// task (simulation), so no lock may be held across it.
+		for i := range recs {
+			if recs[i].Count <= 1 {
+				continue
+			}
+			chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+			rec := recs[i]
+			rec.Stamp = SignStampWithOp(m.cfg.Keys, rec.Version, m.rt.Now(), rec.OpBytes)
+			rec.First, rec.Count, rec.Proof = rec.Version, 1, merkle.Proof{}
+			recs[i] = rec
+			m.mu.Lock()
+			m.log[rec.Version-m.baseVersion-1] = rec
+			m.mu.Unlock()
+		}
+	}
+
+	w := wire.NewWriter(1024)
+	w.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		if v2 {
+			rec.Encode(w)
+			continue
+		}
+		w.Uvarint(rec.Version)
+		w.Bytes_(rec.OpBytes)
+		rec.Stamp.Encode(w)
 	}
 	stamp := SignStamp(m.cfg.Keys, cur, m.rt.Now())
 	stamp.Encode(w)

@@ -367,3 +367,90 @@ func TestMasterUnknownMethod(t *testing.T) {
 		t.Fatal("unknown method accepted")
 	}
 }
+
+// TestMasterBatchedSyncBothProtocols commits a multi-op batch (one
+// batch-root signature) and then syncs it back through both reply
+// protocols: v2 must preserve the batch evidence (shared stamp +
+// membership proofs), while a legacy request must receive equivalent
+// per-op stamps signed on demand.
+func TestMasterBatchedSyncBothProtocols(t *testing.T) {
+	r := newMasterRig(t, func(cfg *MasterConfig) {
+		cfg.BatchSize = 4
+		cfg.BatchTimeout = 5 * time.Millisecond
+	})
+	masterPub := r.master.PublicKey()
+	var v2body, legacyBody []byte
+	var v2err, legacyErr error
+	r.s.Go(func() {
+		// Four concurrent writes fill the accumulator exactly.
+		for _, op := range []store.Op{
+			store.Put{Key: "a", Value: []byte("1")},
+			store.Put{Key: "b", Value: []byte("2")},
+			store.Delete{Key: "a"},
+			store.Append{Key: "b", Data: []byte("+3")},
+		} {
+			op := op
+			r.s.Spawn(func() { r.write(r.client, op) })
+		}
+		r.s.Sleep(time.Second) // let the batch commit
+		w := wire.NewWriter(16)
+		w.Uvarint(2)
+		w.Byte(1) // v2: batch evidence preserved
+		v2body, v2err = r.master.Handle("slave", MethodSync, w.Bytes())
+		lw := wire.NewWriter(16)
+		lw.Uvarint(2) // legacy: per-op stamps
+		legacyBody, legacyErr = r.master.Handle("slave", MethodSync, lw.Bytes())
+	})
+	r.s.Run()
+	if got := r.master.Version(); got != 5 {
+		t.Fatalf("master version = %d, want 5 (4 writes over base 1)", got)
+	}
+	if st := r.master.Stats(); st.BatchesApplied != 1 || st.WritesApplied != 4 {
+		t.Fatalf("expected one batch of four, got %+v", st)
+	}
+	if v2err != nil || legacyErr != nil {
+		t.Fatalf("sync errors: v2=%v legacy=%v", v2err, legacyErr)
+	}
+
+	rr := wire.NewReader(v2body)
+	if n := rr.Uvarint(); n != 4 {
+		t.Fatalf("v2 sync returned %d records, want 4", n)
+	}
+	var batchSig []byte
+	for i := 0; i < 4; i++ {
+		rec, err := DecodeOpRecord(rr)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if err := rec.Verify([]cryptoutil.PublicKey{masterPub}); err != nil {
+			t.Fatalf("record %d does not verify: %v", i, err)
+		}
+		if rec.First != 2 || rec.Count != 4 || rec.Version != uint64(2+i) {
+			t.Fatalf("record %d batch geometry: %+v", i, rec)
+		}
+		if i == 0 {
+			batchSig = rec.Stamp.Sig
+		} else if string(rec.Stamp.Sig) != string(batchSig) {
+			t.Fatal("batch records do not share one signature")
+		}
+	}
+
+	lr := wire.NewReader(legacyBody)
+	if n := lr.Uvarint(); n != 4 {
+		t.Fatalf("legacy sync returned %d records, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		v := lr.Uvarint()
+		opBytes := lr.Bytes()
+		stamp, err := DecodeStamp(lr)
+		if err != nil {
+			t.Fatalf("legacy record %d: %v", i, err)
+		}
+		if err := stamp.Verify([]cryptoutil.PublicKey{masterPub}); err != nil {
+			t.Fatalf("legacy record %d stamp: %v", i, err)
+		}
+		if stamp.Version != v || !stamp.AuthenticatesOp(opBytes) {
+			t.Fatalf("legacy record %d not authenticated by a per-op stamp", i)
+		}
+	}
+}

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/query"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/wire"
 )
@@ -144,5 +148,192 @@ func TestQuickStampRoundTripAndFreshness(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- Batched commit equivalence (DESIGN invariant of the batch pipeline) --
+//
+// A batched commit must be an optimization, not a semantic change: any
+// interleaving of writes through the batch accumulator yields the exact
+// version sequence, per-key values and StateDigest that the same ops
+// committed sequentially (batch size 1) would produce.
+
+// propOps derives a deterministic random op sequence over a small key
+// space, mixing puts, appends and deletes so digests are order-sensitive.
+func propOps(rng *rand.Rand, n int) []store.Op {
+	ops := make([]store.Op, n)
+	for i := range ops {
+		key := fmt.Sprintf("k%02d", rng.Intn(12))
+		switch rng.Intn(4) {
+		case 0:
+			ops[i] = store.Delete{Key: key}
+		case 1:
+			ops[i] = store.Append{Key: key, Data: []byte(fmt.Sprintf("+%d", rng.Intn(100)))}
+		default:
+			ops[i] = store.Put{Key: key, Value: []byte(fmt.Sprintf("v%d", rng.Intn(1000)))}
+		}
+	}
+	return ops
+}
+
+func TestBatchSequentialEquivalence(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)*7919 + 17))
+			nOps := 8 + rng.Intn(40)
+			batchSize := 1 + rng.Intn(8)
+			ops := propOps(rng, nOps)
+
+			s := sim.New(int64(trial) + 1)
+			o := defaultOpts()
+			o.nMasters = 1
+			o.slavesPerM = 1 + rng.Intn(2)
+			o.params.MaxLatency = 20 * time.Millisecond
+			o.params.KeepAliveEvery = 5 * time.Millisecond
+			o.batchSize = batchSize
+			o.batchTimeout = 2 * time.Millisecond
+			c := newTestCluster(t, s, o)
+			cl := c.addClient(t, 0, nil)
+
+			// Submit the ops in random concurrent waves; the accumulator
+			// may cut batches anywhere inside or across a wave.
+			type commit struct {
+				version uint64
+				op      store.Op
+			}
+			var commits []commit
+			s.Go(func() {
+				s.Sleep(c.warmup())
+				if err := cl.Setup(); err != nil {
+					t.Errorf("setup: %v", err)
+					s.Stop()
+					return
+				}
+				for i := 0; i < nOps; {
+					k := 1 + rng.Intn(2*batchSize)
+					if i+k > nOps {
+						k = nOps - i
+					}
+					wave := ops[i : i+k]
+					versions, err := cl.WriteMulti(wave)
+					if err != nil {
+						t.Errorf("write wave at %d: %v", i, err)
+						s.Stop()
+						return
+					}
+					for j, v := range versions {
+						commits = append(commits, commit{version: v, op: wave[j]})
+					}
+					i += k
+				}
+				// Let slave updates drain before comparing replicas.
+				s.Sleep(500 * time.Millisecond)
+				s.Stop()
+			})
+			s.Run()
+			if t.Failed() {
+				return
+			}
+			if len(commits) != nOps {
+				t.Fatalf("committed %d of %d ops", len(commits), nOps)
+			}
+
+			// Reference: the same ops applied unbatched, in commit
+			// (version) order.
+			sort.Slice(commits, func(i, j int) bool { return commits[i].version < commits[j].version })
+			ref := c.initial.Clone()
+			for i, cm := range commits {
+				if want := c.initial.Version() + uint64(i) + 1; cm.version != want {
+					t.Fatalf("version sequence has a hole: got %d, want %d", cm.version, want)
+				}
+				ref.Apply(cm.op)
+			}
+
+			master := c.masters[0]
+			if got, want := master.Version(), ref.Version(); got != want {
+				t.Fatalf("master version %d, want %d", got, want)
+			}
+			if got, want := master.StateDigest(), ref.StateDigest(); !got.Equal(want) {
+				t.Fatalf("master digest diverged from sequential reference (batch=%d)", batchSize)
+			}
+			// Per-key values must match in both directions.
+			ref.Ascend("", "", func(key string, value []byte) bool {
+				got, ok := master.store.Get(key)
+				if !ok || !bytes.Equal(got, value) {
+					t.Fatalf("key %q: master=%q ok=%v, want %q", key, got, ok, value)
+				}
+				return true
+			})
+			master.store.Ascend("", "", func(key string, value []byte) bool {
+				if _, ok := ref.Get(key); !ok {
+					t.Fatalf("master has extra key %q", key)
+				}
+				return true
+			})
+			// Every slave replica converged through batched updates alone.
+			for i, sl := range c.slaves {
+				if got := sl.Version(); got != ref.Version() {
+					t.Fatalf("slave %d version %d, want %d", i, got, ref.Version())
+				}
+				if got := sl.store.StateDigest(); !got.Equal(ref.StateDigest()) {
+					t.Fatalf("slave %d digest diverged (batch=%d)", i, batchSize)
+				}
+			}
+		})
+	}
+}
+
+func TestStampDomainSeparation(t *testing.T) {
+	// Per-op stamps and batch-root stamps sign distinct domains; a
+	// digest of one kind must never be replayable as the other, even
+	// when the digest values collide (op bytes are client-chosen, so
+	// collisions with merkle interior nodes can be ground for).
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	ts := time.Unix(0, 0).UTC()
+	op := store.EncodeOp(store.Put{Key: "k", Value: []byte("v")})
+	trusted := []cryptoutil.PublicKey{master.Public}
+
+	// A genuine batch stamp whose root equals the hash of some op bytes
+	// still never authenticates those bytes as a single op.
+	asBatch := SignBatchStamp(master, 7, ts, cryptoutil.HashBytes(op))
+	if err := asBatch.Verify(trusted); err != nil {
+		t.Fatalf("genuine batch stamp must verify: %v", err)
+	}
+	if asBatch.AuthenticatesOp(op) {
+		t.Fatal("batch stamp authenticated raw op bytes as a per-op stamp")
+	}
+
+	// A stamp signed in the per-op domain over a value that is a valid
+	// batch root must not be accepted as batch evidence.
+	tree := BatchTree(7, [][]byte{op})
+	proof, err := tree.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOpDomain := VersionStamp{Version: 7, Timestamp: ts, OpDigest: tree.Root(), MasterPub: master.Public}
+	perOpDomain.Sig = master.Sign(perOpDomain.signedBytes())
+	if err := perOpDomain.Verify(trusted); err != nil {
+		t.Fatalf("per-op-domain stamp must verify as a stamp: %v", err)
+	}
+	if err := VerifyBatchMember(&perOpDomain, 7, 1, 7, op, proof); err == nil {
+		t.Fatal("per-op-domain stamp accepted as a batch root")
+	}
+
+	// Flipping Kind on the wire flips the signing domain: the
+	// signature must break.
+	b := SignBatchStamp(master, 9, ts, tree.Root())
+	w := wire.NewWriter(128)
+	b.Encode(w)
+	dec, err := DecodeStamp(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Verify(trusted); err != nil {
+		t.Fatalf("round-tripped batch stamp must verify: %v", err)
+	}
+	dec.Kind = stampKindOp
+	if err := dec.Verify(trusted); err == nil {
+		t.Fatal("stamp with flipped kind still verified")
 	}
 }

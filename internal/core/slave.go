@@ -16,12 +16,13 @@ import (
 // SlaveStats counts a slave's activity; the harness reads them after a
 // run. All fields are monotone counters.
 type SlaveStats struct {
-	ReadsServed   uint64
-	ReadsLied     uint64
-	ReadsRefused  uint64 // refused because the slave's stamp was stale
-	UpdatesOK     uint64
-	UpdatesSynced uint64 // updates recovered via m.sync after a gap
-	KeepAlives    uint64
+	ReadsServed    uint64
+	ReadsLied      uint64
+	ReadsRefused   uint64 // refused because the slave's stamp was stale
+	UpdatesOK      uint64
+	BatchesApplied uint64 // batched updates applied (1 sig verify each)
+	UpdatesSynced  uint64 // updates recovered via m.sync after a gap
+	KeepAlives     uint64
 }
 
 // SlaveConfig configures a slave server.
@@ -83,6 +84,13 @@ func (s *Slave) Version() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.store.Version()
+}
+
+// StateDigest exposes the replica digest for convergence checks.
+func (s *Slave) StateDigest() cryptoutil.Digest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.StateDigest()
 }
 
 // Addr returns the slave's address.
@@ -163,6 +171,8 @@ func (s *Slave) Handle(from, method string, body []byte) ([]byte, error) {
 	switch method {
 	case MethodUpdate:
 		return s.handleUpdate(from, body)
+	case MethodUpdateBatch:
+		return s.handleUpdateBatch(from, body)
 	case MethodKeepAlive:
 		return s.handleKeepAlive(from, body)
 	case MethodRead:
@@ -200,7 +210,8 @@ func (s *Slave) handleKeepAlive(from string, body []byte) ([]byte, error) {
 	// A keep-alive for a version ahead of the replica means updates were
 	// lost; recover them in the background.
 	if stamp.Version > s.store.Version() {
-		s.rt.Spawn(func() { s.syncFrom(s.cfg.MasterAddr) })
+		syncAddr := s.cfg.MasterAddr
+		s.rt.Spawn(func() { s.syncFrom(syncAddr) })
 	}
 	return nil, nil
 }
@@ -225,13 +236,11 @@ func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
 		return nil, ErrBadStamp
 	}
 	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
-	if masterAddr != "" {
-		s.mu.Lock()
-		s.cfg.MasterAddr = masterAddr
-		s.mu.Unlock()
-	}
-
 	s.mu.Lock()
+	if masterAddr != "" {
+		s.cfg.MasterAddr = masterAddr
+	}
+	syncAddr := s.cfg.MasterAddr
 	cur := s.store.Version()
 	s.mu.Unlock()
 	switch {
@@ -251,13 +260,91 @@ func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
 		s.mu.Unlock()
 	default:
 		// Gap: recover the missing range from the master first.
-		if err := s.syncFrom(s.cfg.MasterAddr); err != nil {
+		if err := s.syncFrom(syncAddr); err != nil {
 			return nil, err
 		}
 	}
 	s.mu.Lock()
 	if stamp.Timestamp.After(s.lastStamp.Timestamp) && stamp.Version >= s.lastStamp.Version {
 		s.lastStamp = stamp
+	}
+	s.mu.Unlock()
+	return nil, nil
+}
+
+// handleUpdateBatch applies one batched commit atomically: the single
+// batch-root signature is verified once, then every op's membership
+// proof is checked against the root before any op touches the store.
+// The batch either fully applies (up to already-applied duplicates) or
+// is rejected whole.
+func (s *Slave) handleUpdateBatch(from string, body []byte) ([]byte, error) {
+	bu, err := DecodeBatchUpdate(body)
+	if err != nil {
+		return nil, err
+	}
+	// One signature verification per batch — the receiving half of the
+	// master's signing amortization — plus the proof hashing.
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
+	var opBytesTotal int
+	for _, op := range bu.Ops {
+		opBytesTotal += len(op)
+	}
+	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.BatchOverhead(len(bu.Ops), opBytesTotal))
+	if err := bu.Verify(s.cfg.MasterPubs); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if bu.MasterAddr != "" {
+		s.cfg.MasterAddr = bu.MasterAddr
+	}
+	masterAddr := s.cfg.MasterAddr
+	s.mu.Unlock()
+
+	// Decode every op before applying any, so a malformed batch cannot
+	// leave the replica half-updated.
+	ops := make([]store.Op, len(bu.Ops))
+	for i, b := range bu.Ops {
+		op, err := store.DecodeOp(b)
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = op
+	}
+
+	s.mu.Lock()
+	cur := s.store.Version()
+	s.mu.Unlock()
+	switch {
+	case bu.Last() <= cur:
+		// Duplicate delivery; still take the fresher stamp below.
+	case bu.First > cur+1:
+		// Gap: recover the missing range from the master first.
+		if err := s.syncFrom(masterAddr); err != nil {
+			return nil, err
+		}
+	default:
+		s.mu.Lock()
+		applied := uint64(0)
+		for i, op := range ops {
+			v := bu.First + uint64(i)
+			if v <= s.store.Version() {
+				continue // overlap with already-applied history
+			}
+			if err := s.store.ApplyAt(v, op); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+			applied++
+		}
+		s.stats.UpdatesOK += applied
+		if applied > 0 {
+			s.stats.BatchesApplied++
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	if bu.Stamp.Timestamp.After(s.lastStamp.Timestamp) && bu.Stamp.Version >= s.lastStamp.Version {
+		s.lastStamp = bu.Stamp
 	}
 	s.mu.Unlock()
 	return nil, nil
@@ -271,6 +358,7 @@ func (s *Slave) syncFrom(masterAddr string) error {
 	s.mu.Unlock()
 	w := wire.NewWriter(16)
 	w.Uvarint(from)
+	w.Byte(1) // v2: reply with OpRecords (batch evidence preserved)
 	body, err := s.dlr.CallTimeout(masterAddr, MethodSync, w.Bytes(), s.cfg.Params.ReadTimeout)
 	if err != nil {
 		return err
@@ -282,25 +370,33 @@ func (s *Slave) syncFrom(masterAddr string) error {
 		op      store.Op
 	}
 	updates := make([]upd, 0, n)
+	// Records of one batch share a single stamp; verify each distinct
+	// signature once (the sync-path half of signature amortization) and
+	// the per-op binding for every record.
+	var verifiedStamp string
 	for i := uint64(0); i < n; i++ {
-		v := r.Uvarint()
-		opBytes := r.Bytes()
-		opStamp, err := DecodeStamp(r)
+		rec, err := DecodeOpRecord(r)
 		if err != nil {
 			return err
 		}
-		// Each replayed op must carry the master's original update stamp.
-		if err := opStamp.Verify(s.cfg.MasterPubs); err != nil {
+		// Each replayed op must carry the master's original evidence: a
+		// per-op update stamp or its batch stamp plus membership proof.
+		key := string(rec.Stamp.signedBytes()) + string(rec.Stamp.Sig)
+		if key != verifiedStamp {
+			if err := rec.Stamp.Verify(s.cfg.MasterPubs); err != nil {
+				return err
+			}
+			chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
+			verifiedStamp = key
+		}
+		if err := rec.VerifyBinding(); err != nil {
 			return err
 		}
-		if opStamp.Version != v || !opStamp.AuthenticatesOp(opBytes) {
-			return ErrBadStamp
-		}
-		op, err := store.DecodeOp(opBytes)
+		op, err := store.DecodeOp(rec.OpBytes)
 		if err != nil {
 			return err
 		}
-		updates = append(updates, upd{v, op})
+		updates = append(updates, upd{rec.Version, op})
 	}
 	stamp, err := DecodeStamp(r)
 	if err != nil {

@@ -248,10 +248,9 @@ func TestSlaveGapTriggersSync(t *testing.T) {
 		w.Uvarint(2)
 		for i, op := range ops {
 			v := uint64(2 + i)
-			w.Uvarint(v)
-			w.Bytes_(op)
 			st := SignStampWithOp(r.master, v, r.s.Now(), op)
-			st.Encode(w)
+			rec := OpRecord{Version: v, OpBytes: op, Stamp: st, First: v, Count: 1}
+			rec.Encode(w)
 		}
 		final := SignStamp(r.master, 3, r.s.Now())
 		final.Encode(w)

@@ -11,9 +11,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/merkle"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -31,6 +33,18 @@ var (
 	ErrNoSlaves     = errors.New("core: master has no slaves available")
 )
 
+// Stamp kinds. A per-op (or keep-alive/snapshot) stamp's OpDigest is
+// the hash of the op bytes it authorizes; a batch stamp's OpDigest is
+// the merkle root of a batched commit. The two kinds are
+// domain-separated in the signature: op bytes can be chosen by clients,
+// so without separation a signed op digest could be ground to collide
+// with a merkle interior node (or vice versa) and replayed as evidence
+// of the other kind.
+const (
+	stampKindOp    byte = 0
+	stampKindBatch byte = 1
+)
+
 // VersionStamp is the signed, time-stamped content version that masters
 // attach to slave updates and keep-alive packets (§3.1). Slaves embed the
 // latest stamp in every pledge; clients use its timestamp to bound
@@ -38,18 +52,24 @@ var (
 //
 // For update stamps, OpDigest binds the write's encoded operation to the
 // stamp so a replica applies only master-authorized ops even over an
-// unauthenticated transport; keep-alive stamps carry a zero digest.
+// unauthenticated transport; keep-alive stamps carry a zero digest and
+// batch stamps (Kind = stampKindBatch) carry a batch merkle root.
 type VersionStamp struct {
 	Version   uint64
 	Timestamp time.Time
 	OpDigest  cryptoutil.Digest
 	MasterPub cryptoutil.PublicKey
+	Kind      byte
 	Sig       []byte
 }
 
 func (v *VersionStamp) signedBytes() []byte {
 	w := wire.NewWriter(64)
-	w.String_("vstamp.v1")
+	if v.Kind == stampKindBatch {
+		w.String_("vbatch.v1")
+	} else {
+		w.String_("vstamp.v1")
+	}
 	w.Uvarint(v.Version)
 	w.Time(v.Timestamp)
 	w.Bytes_(v.OpDigest[:])
@@ -78,8 +98,221 @@ func SignStampWithOp(master *cryptoutil.KeyPair, version uint64, ts time.Time, o
 }
 
 // AuthenticatesOp reports whether the stamp's digest matches opBytes.
+// Only per-op stamps can authorize an op directly; a batch stamp's
+// digest is a merkle root and authorizes ops only through membership
+// proofs (VerifyBatchMember).
 func (v *VersionStamp) AuthenticatesOp(opBytes []byte) bool {
-	return v.OpDigest.Equal(cryptoutil.HashBytes(opBytes))
+	return v.Kind == stampKindOp && v.OpDigest.Equal(cryptoutil.HashBytes(opBytes))
+}
+
+// --- Batched commits -------------------------------------------------------
+//
+// A master signing every write individually caps throughput at the cost
+// of one signature per write (§3.4: signing dominates the master's CPU).
+// Batched commits amortize it: the master accumulates concurrent writes,
+// applies them as versions first..first+n-1, and signs ONE stamp whose
+// OpDigest is the merkle root over the batch's op bytes. Each op is then
+// individually authenticated by its membership proof against that root,
+// so replicas can verify any op — or any suffix of a batch during sync —
+// without a per-op signature.
+
+// BatchLeaf is the canonical merkle leaf binding opBytes to the content
+// version it produced. Both signer and verifier must build it
+// identically.
+func BatchLeaf(version uint64, opBytes []byte) merkle.Entry {
+	return merkle.Entry{Key: "v" + strconv.FormatUint(version, 10), Value: opBytes}
+}
+
+// BatchTree builds the batch's merkle tree: leaf i authenticates ops[i]
+// at version first+i.
+func BatchTree(first uint64, ops [][]byte) *merkle.Tree {
+	entries := make([]merkle.Entry, len(ops))
+	for i, op := range ops {
+		entries[i] = BatchLeaf(first+uint64(i), op)
+	}
+	return merkle.Build(entries)
+}
+
+// SignBatchStamp signs the single stamp covering a batched commit: its
+// Version is the batch's last version and its OpDigest is the batch
+// merkle root.
+func SignBatchStamp(master *cryptoutil.KeyPair, lastVersion uint64, ts time.Time, root cryptoutil.Digest) VersionStamp {
+	v := VersionStamp{
+		Version: lastVersion, Timestamp: ts,
+		OpDigest: root, MasterPub: master.Public,
+		Kind: stampKindBatch,
+	}
+	v.Sig = master.Sign(v.signedBytes())
+	return v
+}
+
+// VerifyBatchMember checks that opBytes is the op the stamp's batch
+// committed at the given version: the version lies inside the batch
+// [first, first+count), the proof indexes that position, and the proof
+// verifies against the stamp's root. The caller must have verified the
+// stamp's signature already.
+func VerifyBatchMember(stamp *VersionStamp, first, count, version uint64, opBytes []byte, proof merkle.Proof) error {
+	if stamp.Kind != stampKindBatch {
+		return fmt.Errorf("%w: stamp is not a batch stamp", ErrBadStamp)
+	}
+	if count == 0 || version < first || version >= first+count {
+		return fmt.Errorf("%w: version %d outside batch [%d,%d)", ErrBadStamp, version, first, first+count)
+	}
+	if stamp.Version != first+count-1 {
+		return fmt.Errorf("%w: stamp version %d does not close batch [%d,%d)", ErrBadStamp, stamp.Version, first, first+count)
+	}
+	if uint64(proof.Index) != version-first {
+		return fmt.Errorf("%w: proof index %d for version %d", ErrBadStamp, proof.Index, version)
+	}
+	if err := merkle.Verify(stamp.OpDigest, BatchLeaf(version, opBytes), proof); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadStamp, err)
+	}
+	return nil
+}
+
+// OpRecord is one committed op plus the evidence a replica needs to
+// apply it: the signing stamp and, when the op was committed inside a
+// batch of more than one, its membership proof. Masters retain one per
+// version; sync replies are sequences of them.
+type OpRecord struct {
+	Version uint64
+	OpBytes []byte
+	Stamp   VersionStamp // per-op stamp (Count<=1) or batch stamp
+	First   uint64       // first version of the signing batch
+	Count   uint64       // ops in the signing batch
+	Proof   merkle.Proof // membership proof (empty when Count<=1)
+}
+
+// Verify checks the record end to end against the trusted master keys.
+func (rec *OpRecord) Verify(trustedMasters []cryptoutil.PublicKey) error {
+	if err := rec.Stamp.Verify(trustedMasters); err != nil {
+		return err
+	}
+	return rec.VerifyBinding()
+}
+
+// VerifyBinding checks only that the op is bound to the record's stamp
+// (per-op digest or batch membership proof). The caller must have
+// verified the stamp's signature: records of the same batch share one
+// stamp, so a bulk consumer (sync) verifies each distinct signature
+// once and the binding per record — keeping the sync path as amortized
+// as the commit path.
+func (rec *OpRecord) VerifyBinding() error {
+	if rec.Count <= 1 {
+		if rec.Stamp.Version != rec.Version || !rec.Stamp.AuthenticatesOp(rec.OpBytes) {
+			return ErrBadStamp
+		}
+		return nil
+	}
+	return VerifyBatchMember(&rec.Stamp, rec.First, rec.Count, rec.Version, rec.OpBytes, rec.Proof)
+}
+
+// Encode appends the record to w.
+func (rec *OpRecord) Encode(w *wire.Writer) {
+	w.Uvarint(rec.Version)
+	w.Bytes_(rec.OpBytes)
+	rec.Stamp.Encode(w)
+	w.Uvarint(rec.First)
+	w.Uvarint(rec.Count)
+	rec.Proof.Encode(w)
+}
+
+// DecodeOpRecord reads a record from r.
+func DecodeOpRecord(r *wire.Reader) (OpRecord, error) {
+	var rec OpRecord
+	rec.Version = r.Uvarint()
+	rec.OpBytes = r.Bytes()
+	var err error
+	rec.Stamp, err = DecodeStamp(r)
+	if err != nil {
+		return rec, err
+	}
+	rec.First = r.Uvarint()
+	rec.Count = r.Uvarint()
+	rec.Proof, err = merkle.DecodeProof(r)
+	if err != nil {
+		return rec, err
+	}
+	return rec, r.Err()
+}
+
+// BatchUpdate is the master→slave frame carrying one whole batched
+// commit: the ops for versions First..First+len(Ops)-1, one membership
+// proof per op, and the single batch stamp — one signature and one
+// delivery regardless of batch size.
+type BatchUpdate struct {
+	First      uint64
+	Ops        [][]byte
+	Proofs     []merkle.Proof
+	Stamp      VersionStamp
+	MasterAddr string
+}
+
+// Last returns the batch's final version.
+func (bu *BatchUpdate) Last() uint64 { return bu.First + uint64(len(bu.Ops)) - 1 }
+
+// Verify checks the stamp signature and every op's membership proof.
+func (bu *BatchUpdate) Verify(trustedMasters []cryptoutil.PublicKey) error {
+	if len(bu.Ops) == 0 || len(bu.Proofs) != len(bu.Ops) {
+		return fmt.Errorf("%w: malformed batch (%d ops, %d proofs)", ErrBadStamp, len(bu.Ops), len(bu.Proofs))
+	}
+	if err := bu.Stamp.Verify(trustedMasters); err != nil {
+		return err
+	}
+	count := uint64(len(bu.Ops))
+	for i, op := range bu.Ops {
+		if err := VerifyBatchMember(&bu.Stamp, bu.First, count, bu.First+uint64(i), op, bu.Proofs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeBatchUpdate serializes the frame.
+func EncodeBatchUpdate(bu BatchUpdate) []byte {
+	size := 256
+	for _, op := range bu.Ops {
+		size += len(op) + 64
+	}
+	w := wire.NewWriter(size)
+	w.Uvarint(bu.First)
+	w.BytesSlice(bu.Ops)
+	w.Uvarint(uint64(len(bu.Proofs)))
+	for _, p := range bu.Proofs {
+		p.Encode(w)
+	}
+	bu.Stamp.Encode(w)
+	w.String_(bu.MasterAddr)
+	return w.Bytes()
+}
+
+// DecodeBatchUpdate parses the frame.
+func DecodeBatchUpdate(b []byte) (BatchUpdate, error) {
+	r := wire.NewReader(b)
+	var bu BatchUpdate
+	bu.First = r.Uvarint()
+	bu.Ops = r.BytesSlice()
+	n := r.Uvarint()
+	if r.Err() == nil && n > wire.MaxBatchItems {
+		return bu, wire.ErrTooLarge
+	}
+	for i := uint64(0); i < n; i++ {
+		p, err := merkle.DecodeProof(r)
+		if err != nil {
+			return bu, err
+		}
+		bu.Proofs = append(bu.Proofs, p)
+	}
+	var err error
+	bu.Stamp, err = DecodeStamp(r)
+	if err != nil {
+		return bu, err
+	}
+	bu.MasterAddr = r.String()
+	if err := r.Done(); err != nil {
+		return bu, err
+	}
+	return bu, nil
 }
 
 // Verify checks the stamp against a set of trusted master keys.
@@ -102,12 +335,14 @@ func (v *VersionStamp) Fresh(now time.Time, maxLatency time.Duration) bool {
 	return now.Sub(v.Timestamp) <= maxLatency
 }
 
-// Encode appends the stamp to w.
+// Encode appends the stamp to w. Kind travels on the wire but flipping
+// it breaks the signature: the signing domain depends on it.
 func (v *VersionStamp) Encode(w *wire.Writer) {
 	w.Uvarint(v.Version)
 	w.Time(v.Timestamp)
 	w.Bytes_(v.OpDigest[:])
 	w.Bytes_(v.MasterPub)
+	w.Byte(v.Kind)
 	w.Bytes_(v.Sig)
 }
 
@@ -123,6 +358,7 @@ func DecodeStamp(r *wire.Reader) (VersionStamp, error) {
 		return v, fmt.Errorf("core: bad op digest length %d", len(d))
 	}
 	v.MasterPub = cryptoutil.PublicKey(r.Bytes())
+	v.Kind = r.Byte()
 	v.Sig = r.Bytes()
 	return v, r.Err()
 }

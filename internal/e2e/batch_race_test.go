@@ -1,0 +1,105 @@
+package e2e
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestTCPConcurrentWritersRace is the race smoke for the batched write
+// pipeline: many goroutine writers hammer one batching master over real
+// TCP. Run under `go test -race`. It asserts the pipeline's safety
+// properties under true concurrency: every write commits, every
+// assigned version is unique and the sequence is gapless, and the slave
+// replica — fed only by batched, proof-verified updates — converges to
+// the master's digest.
+func TestTCPConcurrentWritersRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	const (
+		writers         = 8
+		writesPerWriter = 10
+	)
+	d := deploy(t, 1, nil, func(cfg *core.MasterConfig) {
+		cfg.BatchSize = 4
+		cfg.BatchTimeout = 5 * time.Millisecond
+		// Pacing is per batched commit; keep it tight so the test runs in
+		// well under a second of wall time.
+		cfg.Params.MaxLatency = 10 * time.Millisecond
+	})
+	defer d.close()
+
+	var (
+		mu       sync.Mutex
+		versions = make(map[uint64]int)
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writesPerWriter; i++ {
+				op := store.Put{
+					Key:   workload.CatalogKey(w*writesPerWriter + i),
+					Value: []byte{byte(w), byte(i)},
+				}
+				v, err := d.client.Write(op)
+				if err != nil {
+					t.Errorf("writer %d op %d: %v", w, i, err)
+					return
+				}
+				mu.Lock()
+				versions[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	const total = writers * writesPerWriter
+	base := uint64(1) // deploy starts the content at version 1
+	if len(versions) != total {
+		t.Fatalf("%d distinct versions for %d writes (duplicate assignment)", len(versions), total)
+	}
+	for v := base + 1; v <= base+total; v++ {
+		if versions[v] != 1 {
+			t.Fatalf("version %d assigned %d times; sequence has a gap or duplicate", v, versions[v])
+		}
+	}
+	if got := d.master.Version(); got != base+total {
+		t.Fatalf("master version %d, want %d", got, base+total)
+	}
+	st := d.master.Stats()
+	if st.WritesApplied != total {
+		t.Fatalf("writes applied %d, want %d", st.WritesApplied, total)
+	}
+	if st.BatchesApplied >= st.WritesApplied {
+		t.Fatalf("no batching happened: %d batches for %d writes", st.BatchesApplied, st.WritesApplied)
+	}
+
+	// The slave must converge through batched updates (plus sync for any
+	// race-lost frames) to the identical replica state.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if d.slaves[0].Version() == d.master.Version() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slave stuck at version %d, master at %d",
+				d.slaves[0].Version(), d.master.Version())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got, want := d.slaves[0].StateDigest(), d.master.StateDigest(); !got.Equal(want) {
+		t.Fatal("slave replica digest diverged from master after batched commits")
+	}
+}

@@ -53,7 +53,7 @@ func (d *deployment) close() {
 	d.dialer.Close()
 }
 
-func deploy(t *testing.T, nSlaves int, behaviors map[int]core.Behavior) *deployment {
+func deploy(t *testing.T, nSlaves int, behaviors map[int]core.Behavior, mutMaster func(*core.MasterConfig)) *deployment {
 	t.Helper()
 	rt := sim.RealClock{}
 	d := &deployment{
@@ -87,12 +87,16 @@ func deploy(t *testing.T, nSlaves int, behaviors map[int]core.Behavior) *deploym
 	acl := core.NewACL(clientKeys.Public)
 	masterKeys := cryptoutil.DeriveKeyPair("master", 0)
 
-	d.master, err = core.NewMaster(core.MasterConfig{
+	mcfg := core.MasterConfig{
 		Addr: masterAddr, Keys: masterKeys, Params: d.params,
 		ContentKey: d.owner.Public, Peers: peers,
 		AuditorAddr: auditorAddr, AuditorPub: auditorKeys.Public,
 		ACL: acl, Directory: d.dir, Seed: 1,
-	}, rt, d.dialer, initial)
+	}
+	if mutMaster != nil {
+		mutMaster(&mcfg)
+	}
+	d.master, err = core.NewMaster(mcfg, rt, d.dialer, initial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +173,7 @@ func TestTCPEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time test")
 	}
-	d := deploy(t, 1, nil)
+	d := deploy(t, 1, nil, nil)
 	defer d.close()
 
 	version, err := d.client.Write(store.Put{Key: "tcp", Value: []byte("works")})
@@ -227,7 +231,7 @@ func TestTCPLiarCaughtOverRealSockets(t *testing.T) {
 	// Slave 0 lies about everything; the mandatory double-check catches
 	// it red-handed over real TCP, and the client ends with the truth
 	// from the replacement slave.
-	d := deploy(t, 2, map[int]core.Behavior{0: core.AlwaysLie{}})
+	d := deploy(t, 2, map[int]core.Behavior{0: core.AlwaysLie{}}, nil)
 	defer d.close()
 
 	payload, err := d.client.Read(query.Get{Key: "k"})

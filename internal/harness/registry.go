@@ -38,6 +38,7 @@ func Registry() []Experiment {
 		{"E12", "state signing forces dynamic queries onto trusted hosts (§5)", one(E12StateSign)},
 		{"E13", "ablation: which conclusions survive cheap (modern) signatures", one(E13CostAblation)},
 		{"E14", "a recovered slave can be readmitted and serve cleanly (§3.5)", one(E14Recovery)},
+		{"E15", "batching amortizes the master's per-write signature (§3.4, §6)", one(E15BatchThroughput)},
 	}
 }
 

@@ -31,6 +31,10 @@ type ScenarioConfig struct {
 	// CatalogSize / DocCount size the initial content.
 	CatalogSize int
 	DocCount    int
+	// BatchSize / BatchTimeout configure the masters' batched write
+	// pipeline (0 = unbatched / default timeout).
+	BatchSize    int
+	BatchTimeout time.Duration
 	// MasterCPUs / SlaveCPUs / AuditorCPUs are worker counts (default 1).
 	MasterCPUs  int
 	SlaveCPUs   int
@@ -127,17 +131,19 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 		cpu := s.NewResource(masterAddrs[i]+"/cpu", cfg.MasterCPUs)
 		sc.MasterCPU = append(sc.MasterCPU, cpu)
 		m, err := core.NewMaster(core.MasterConfig{
-			Addr:        masterAddrs[i],
-			Keys:        masterKeys[i],
-			Params:      cfg.Params,
-			ContentKey:  sc.Owner.Public,
-			Peers:       peers,
-			AuditorAddr: auditorAddr,
-			AuditorPub:  auditorKeys.Public,
-			ACL:         sc.ACL,
-			Directory:   sc.Bound,
-			CPU:         cpu,
-			Seed:        cfg.Seed*1000 + int64(i),
+			Addr:         masterAddrs[i],
+			Keys:         masterKeys[i],
+			Params:       cfg.Params,
+			ContentKey:   sc.Owner.Public,
+			Peers:        peers,
+			AuditorAddr:  auditorAddr,
+			AuditorPub:   auditorKeys.Public,
+			ACL:          sc.ACL,
+			Directory:    sc.Bound,
+			CPU:          cpu,
+			Seed:         cfg.Seed*1000 + int64(i),
+			BatchSize:    cfg.BatchSize,
+			BatchTimeout: cfg.BatchTimeout,
 		}, s, sc.Net.Dialer(masterAddrs[i]), sc.Initial)
 		if err != nil {
 			panic(err) // configuration bug in the experiment, not runtime
@@ -243,6 +249,7 @@ func (sc *Scenario) TotalSlaveStats() core.SlaveStats {
 		t.ReadsLied += st.ReadsLied
 		t.ReadsRefused += st.ReadsRefused
 		t.UpdatesOK += st.UpdatesOK
+		t.BatchesApplied += st.BatchesApplied
 		t.UpdatesSynced += st.UpdatesSynced
 		t.KeepAlives += st.KeepAlives
 	}
@@ -256,6 +263,9 @@ func (sc *Scenario) TotalMasterStats() core.MasterStats {
 		st := m.Stats()
 		t.WritesAdmitted += st.WritesAdmitted
 		t.WritesApplied += st.WritesApplied
+		t.BatchesApplied += st.BatchesApplied
+		t.BatchFlushFull += st.BatchFlushFull
+		t.BatchFlushTimer += st.BatchFlushTimer
 		t.WritePacingWaits += st.WritePacingWaits
 		t.DoubleChecks += st.DoubleChecks
 		t.DoubleChecksDrop += st.DoubleChecksDrop

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/wire"
 )
 
 // Errors returned by proof verification.
@@ -140,6 +141,46 @@ func (t *Tree) Prove(i int) (Proof, error) {
 		idx /= 2
 	}
 	return p, nil
+}
+
+// maxProofSteps bounds a decoded proof's path length; 64 covers any tree
+// with fewer than 2^64 leaves, so a longer path marks a corrupt frame.
+const maxProofSteps = 64
+
+// Encode appends the proof to w so it can travel inside signed frames
+// (batched commits ship one proof per member op).
+func (p Proof) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(p.Index))
+	w.Uvarint(uint64(len(p.Steps)))
+	for _, s := range p.Steps {
+		w.Bytes_(s.Sibling[:])
+		w.Bool(s.Left)
+	}
+}
+
+// DecodeProof reads a proof written by Encode.
+func DecodeProof(r *wire.Reader) (Proof, error) {
+	var p Proof
+	p.Index = int(r.Uvarint())
+	n := r.Uvarint()
+	if r.Err() == nil && n > maxProofSteps {
+		return p, fmt.Errorf("merkle: proof path of %d steps is implausible", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var s ProofStep
+		d := r.Bytes()
+		if len(d) == cryptoutil.DigestSize {
+			copy(s.Sibling[:], d)
+		} else if r.Err() == nil {
+			return p, fmt.Errorf("merkle: bad sibling digest length %d", len(d))
+		}
+		s.Left = r.Bool()
+		if r.Err() != nil {
+			break
+		}
+		p.Steps = append(p.Steps, s)
+	}
+	return p, r.Err()
 }
 
 // Verify checks that entry is a member of the tree with the given root.

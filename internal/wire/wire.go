@@ -34,6 +34,11 @@ var (
 // guard against corrupt or hostile length prefixes.
 const MaxBytesLen = 64 << 20 // 64 MiB
 
+// MaxBatchItems caps the element count of a batch frame (BytesSlice);
+// batched commits never approach it, so a larger prefix marks a corrupt
+// or hostile frame.
+const MaxBatchItems = 1 << 16
+
 // Writer accumulates an encoded message. The zero value is ready to use.
 type Writer struct {
 	buf []byte
@@ -120,6 +125,16 @@ func (w *Writer) StringSlice(ss []string) {
 	w.Uvarint(uint64(len(ss)))
 	for _, s := range ss {
 		w.String_(s)
+	}
+}
+
+// BytesSlice appends a batch frame: a count-prefixed sequence of
+// length-prefixed byte slices. It is the on-wire shape of a batched
+// commit — one frame carrying every member of the batch.
+func (w *Writer) BytesSlice(bs [][]byte) {
+	w.Uvarint(uint64(len(bs)))
+	for _, b := range bs {
+		w.Bytes_(b)
 	}
 }
 
@@ -293,6 +308,34 @@ func (r *Reader) Time() time.Time {
 
 // Duration reads a duration written by Writer.Duration.
 func (r *Reader) Duration() time.Duration { return time.Duration(r.Varint()) }
+
+// BytesSlice reads a batch frame written by Writer.BytesSlice. Each
+// element is an independent copy. A count above MaxBatchItems, or one
+// that cannot fit in the remaining bytes, fails the reader without
+// allocating.
+func (r *Reader) BytesSlice() [][]byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBatchItems {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	if n > uint64(r.Remaining()) { // each element needs >=1 prefix byte
+		r.fail(ErrShortBuffer)
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		b := r.Bytes()
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, b)
+	}
+	return out
+}
 
 // StringSlice reads a count-prefixed slice of strings.
 func (r *Reader) StringSlice() []string {
