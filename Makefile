@@ -1,14 +1,16 @@
 # Tier-1 verification and the perf trajectory.
 #
 #   make verify     — build, vet, full test suite under the race
-#                     detector, then the E15 batch-throughput benchmark
-#                     emitting BENCH_e15.json (the perf trajectory record).
+#                     detector, then the E15 batch-throughput and E16
+#                     checkpointing benchmarks emitting BENCH_e15.json /
+#                     BENCH_e16.json (the perf trajectory record), plus
+#                     the README package-map completeness check.
 
 GO ?= go
 
-.PHONY: verify build vet race bench-e15 bench
+.PHONY: verify build vet race bench-e15 bench-e16 check-readme bench
 
-verify: build vet race bench-e15
+verify: build vet race bench-e15 bench-e16 check-readme
 
 build:
 	$(GO) build ./...
@@ -22,6 +24,20 @@ race:
 bench-e15:
 	$(GO) test -run '^$$' -bench BenchmarkE15 -benchtime 1x -json . > BENCH_e15.json
 	@grep -c '"Action"' BENCH_e15.json >/dev/null && echo "wrote BENCH_e15.json"
+
+bench-e16:
+	$(GO) test -run '^$$' -bench BenchmarkE16 -benchtime 1x -json . > BENCH_e16.json
+	@grep -c '"Action"' BENCH_e16.json >/dev/null && echo "wrote BENCH_e16.json"
+
+# Every top-level internal/ package must be linked from the README's
+# package map, so the map cannot silently rot as the codebase grows.
+check-readme:
+	@missing=0; \
+	for d in internal/*/; do \
+		p=$$(basename $$d); \
+		grep -q "internal/$$p" README.md || { echo "README.md: missing link to internal/$$p"; missing=1; }; \
+	done; \
+	[ $$missing -eq 0 ] && echo "README.md package map complete" || exit 1
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -113,12 +113,17 @@ func main() {
 
 	case "auditor":
 		keys := cryptoutil.DeriveKeyPair("auditor", 0)
+		var masterPubs []cryptoutil.PublicKey
+		for i := 0; i < *nmasters; i++ {
+			masterPubs = append(masterPubs, cryptoutil.DeriveKeyPair("master", i).Public)
+		}
 		a, err := core.NewAuditor(core.AuditorConfig{
 			Addr:        *listen,
 			Keys:        keys,
 			Params:      params,
 			Peers:       splitList(*peers),
 			MasterAddrs: splitList(*masters),
+			MasterPubs:  masterPubs,
 			Seed:        7,
 		}, rt, dialer, initial)
 		if err != nil {

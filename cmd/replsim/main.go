@@ -8,6 +8,7 @@
 //	replsim -all
 //	replsim -scenario -masters 3 -slaves 4 -clients 8 -liars 2 -duration 2m
 //	replsim -scenario -clients 16 -writeevery 2 -batch 16 -maxlatency 10ms
+//	replsim -scenario -writeevery 2 -batch 16 -checkpoint 1s -duration 5m
 package main
 
 import (

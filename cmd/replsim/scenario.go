@@ -29,6 +29,8 @@ type scenarioFlags struct {
 	writeEvery *int
 	batch      *int
 	batchWait  *time.Duration
+	checkpoint *time.Duration
+	ckptRetain *int
 }
 
 func registerScenarioFlags() scenarioFlags {
@@ -45,6 +47,8 @@ func registerScenarioFlags() scenarioFlags {
 		writeEvery: flag.Int("writeevery", 50, "scenario: one write per this many reads (0 = none)"),
 		batch:      flag.Int("batch", 1, "scenario: master write-batch size (1 = unbatched)"),
 		batchWait:  flag.Duration("batchwait", 0, "scenario: batch flush timeout (0 = max_latency/4)"),
+		checkpoint: flag.Duration("checkpoint", 0, "scenario: stability-checkpoint cadence (0 = off; log/archive grow forever)"),
+		ckptRetain: flag.Int("ckptretain", 0, "scenario: OpRecords always kept below the stable version (0 = default)"),
 	}
 }
 
@@ -57,6 +61,8 @@ func runScenario(seed int64, f scenarioFlags) {
 	cfg.Params.MaxLatency = *f.maxLatency
 	cfg.BatchSize = *f.batch
 	cfg.BatchTimeout = *f.batchWait
+	cfg.CheckpointEvery = *f.checkpoint
+	cfg.CheckpointMinRetain = *f.ckptRetain
 	cfg.SlaveBehaviors = map[int]core.Behavior{}
 	for i := 0; i < *f.liars && i < *f.masters**f.slaves; i++ {
 		cfg.SlaveBehaviors[i] = core.LieWithProb{P: *f.lieProb}
@@ -116,6 +122,11 @@ func runScenario(seed int64, f scenarioFlags) {
 	t.Add("writes committed", cs.WritesOK)
 	t.Add("write batches (= signatures)", ms.BatchesApplied)
 	t.Add("write pacing waits", ms.WritePacingWaits)
+	t.Add("checkpoints applied", ms.CheckpointsApplied)
+	t.Add("op records truncated", ms.OpsTruncated)
+	t.Add("op records retained (master 0)", sc.Masters[0].RetainedOps())
+	t.Add("broadcast archive entries (master 0)", sc.Masters[0].ArchiveLen())
+	t.Add("snapshot-first syncs served", ms.SnapshotSyncs)
 	t.Add("exclusions", ms.Exclusions)
 	t.Add("client reassignments", cs.Reassignments)
 	t.Add("slave reads served", ss.ReadsServed)

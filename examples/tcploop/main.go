@@ -92,7 +92,12 @@ func main() {
 
 	aud, err := core.NewAuditor(core.AuditorConfig{
 		Addr: audAddr, Keys: auditorKeys, Params: params,
-		Peers: peers, MasterAddrs: []string{m0Addr, m1Addr}, Seed: 3,
+		Peers: peers, MasterAddrs: []string{m0Addr, m1Addr},
+		MasterPubs: []cryptoutil.PublicKey{
+			cryptoutil.DeriveKeyPair("master", 0).Public,
+			cryptoutil.DeriveKeyPair("master", 1).Public,
+		},
+		Seed: 3,
 	}, rt, dialer, initial)
 	must(err)
 	srvA := serveAud(aud.Handle)

@@ -1,21 +1,5 @@
-// Package broadcast implements the reliable, totally-ordered broadcast
-// protocol that the master set runs (§3 of the paper, which defers the
-// protocol itself to Kaashoek et al.'s sequencer design [8]).
-//
-// The design follows the cited protocol's architecture: one member — the
-// sequencer — assigns a global sequence number to every message and
-// replicates it to all members; members deliver messages strictly in
-// sequence order and fetch any gaps. The master set is trusted, so the
-// protocol tolerates only benign (crash) failures: when the sequencer
-// stops responding, the next member in the fixed priority order syncs the
-// log from every reachable member and takes over.
-//
-// Guarantees (under crash failures and a fair-lossless network):
-//
-//	Agreement   — every running member delivers the same messages.
-//	Total order — deliveries happen in one global sequence.
-//	Validity    — a Broadcast that returns nil was assigned a slot and
-//	              replicated to every member not suspected as crashed.
+// Sequencer-based ordered broadcast: member state machine, takeover, gap
+// fetch, and archive truncation. See doc.go for the package overview.
 package broadcast
 
 import (
@@ -83,14 +67,17 @@ type Member struct {
 	rt     sim.Runtime
 	dialer rpc.Dialer
 
-	mu        sync.Mutex
-	log       map[uint64][]byte
-	nextSeq   uint64 // sequencer: next slot to assign
-	delivered uint64 // highest contiguously delivered seq
-	view      int    // index into Peers of the current sequencer
-	suspected map[string]bool
-	lastHB    time.Time
-	stopped   bool
+	mu            sync.Mutex
+	log           map[uint64][]byte
+	nextSeq       uint64            // sequencer: next slot to assign
+	delivered     uint64            // highest contiguously delivered seq
+	truncated     uint64            // archive floor: seqs below this were dropped
+	peerDelivered map[string]uint64 // sequencer: peers' delivered marks (Hello replies)
+	stableSeq     uint64            // min delivered across live members (via Hello)
+	view          int               // index into Peers of the current sequencer
+	suspected     map[string]bool
+	lastHB        time.Time
+	stopped       bool
 
 	// deliveries counts messages handed to Deliver (stats/tests).
 	deliveries uint64
@@ -112,13 +99,14 @@ func New(cfg Config, rt sim.Runtime, dialer rpc.Dialer) (*Member, error) {
 		return nil, errors.New("broadcast: Deliver callback is required")
 	}
 	return &Member{
-		cfg:       cfg,
-		rt:        rt,
-		dialer:    dialer,
-		log:       make(map[uint64][]byte),
-		delivered: 0,
-		nextSeq:   1,
-		suspected: make(map[string]bool),
+		cfg:           cfg,
+		rt:            rt,
+		dialer:        dialer,
+		log:           make(map[uint64][]byte),
+		delivered:     0,
+		nextSeq:       1,
+		suspected:     make(map[string]bool),
+		peerDelivered: make(map[string]uint64),
 	}, nil
 }
 
@@ -393,11 +381,19 @@ func (m *Member) Handle(from, method string, body []byte) ([]byte, error) {
 		r := wire.NewReader(body)
 		view := int(r.Uvarint())
 		maxSeq := r.Uvarint()
+		var stable uint64
+		if r.Remaining() > 0 {
+			stable = r.Uvarint()
+		}
 		if err := r.Done(); err != nil {
 			return nil, err
 		}
-		m.acceptHello(from, view, maxSeq)
-		return nil, nil
+		m.acceptHello(from, view, maxSeq, stable)
+		// Reply with our delivered mark: the sequencer aggregates these
+		// into the stability floor that gates archive truncation.
+		w := wire.NewWriter(8)
+		w.Uvarint(m.Delivered())
+		return w.Bytes(), nil
 	}
 	return nil, fmt.Errorf("broadcast: unknown method %q", method)
 }
@@ -431,7 +427,7 @@ func (m *Member) missingBelow(seq uint64) bool {
 	return false
 }
 
-func (m *Member) acceptHello(from string, view int, maxSeq uint64) {
+func (m *Member) acceptHello(from string, view int, maxSeq uint64, stable uint64) {
 	m.mu.Lock()
 	if view >= m.view {
 		if view > m.view {
@@ -439,6 +435,9 @@ func (m *Member) acceptHello(from string, view int, maxSeq uint64) {
 		}
 		m.lastHB = m.rt.Now()
 		delete(m.suspected, from)
+		if stable > m.stableSeq {
+			m.stableSeq = stable
+		}
 	}
 	behind := m.delivered < maxSeq
 	m.mu.Unlock()
@@ -525,10 +524,82 @@ func (m *Member) tryDeliver() {
 
 // archive keeps delivered messages for gap recovery. Entries are kept in
 // the log map under their sequence number (re-inserted after delivery
-// bookkeeping); a production system would truncate after stability, which
-// experiments here do not need.
+// bookkeeping) until the hosting node truncates them after stability
+// (TruncateBelow).
 func (m *Member) archive(seq uint64, msg []byte) {
+	if seq < m.truncated {
+		return
+	}
 	m.log[seq] = msg
+}
+
+// TruncateBelow drops archived (already delivered) entries with sequence
+// numbers below floor, bounding the archive's memory. The hosting node
+// calls it once history below floor has become stable at the application
+// layer; the member additionally caps the floor at the broadcast-layer
+// stability point — the lowest delivered mark among live (non-suspected)
+// members, learned through heartbeats — so a merely-slow member can
+// always still fetch its gap. Only a member suspected as crashed can
+// find its history truncated on return; masters are trusted and
+// crash-only here, so in this system that means operator reprovisioning
+// (a full state transfer), not a protocol recovery path.
+func (m *Member) TruncateBelow(floor uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if max := m.stableSeq + 1; floor > max {
+		floor = max
+	}
+	if floor > m.truncated {
+		m.truncated = floor
+	}
+	for s := range m.log {
+		if s < m.truncated && s <= m.delivered {
+			delete(m.log, s)
+		}
+	}
+}
+
+// stableSeqLocked computes the sequencer's view of broadcast-layer
+// stability: the lowest delivered sequence number among this member and
+// every non-suspected peer (0 while any live peer has not reported yet).
+// Caller holds m.mu.
+func (m *Member) stableSeqLocked() uint64 {
+	stable := m.delivered
+	for _, p := range m.cfg.Peers {
+		if p == m.cfg.Self || m.suspected[p] {
+			continue
+		}
+		if d := m.peerDelivered[p]; d < stable {
+			stable = d
+		}
+	}
+	return stable
+}
+
+// Truncated returns the current archive floor: the lowest sequence number
+// this member still retains (0 = nothing truncated yet).
+func (m *Member) Truncated() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.truncated
+}
+
+// ArchiveLen returns the number of retained log/archive entries.
+func (m *Member) ArchiveLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.log)
+}
+
+// ArchiveBytes returns the total message bytes retained in the archive.
+func (m *Member) ArchiveBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, msg := range m.log {
+		n += len(msg)
+	}
+	return n
 }
 
 // heartbeatLoop makes the sequencer announce liveness and its log high
@@ -546,15 +617,35 @@ func (m *Member) heartbeatLoop() {
 			return
 		}
 		if isSeq {
-			w := wire.NewWriter(16)
+			m.mu.Lock()
+			stable := m.stableSeqLocked()
+			if stable > m.stableSeq {
+				m.stableSeq = stable
+			}
+			m.mu.Unlock()
+			w := wire.NewWriter(24)
 			w.Uvarint(uint64(view))
 			w.Uvarint(maxSeq)
+			w.Uvarint(stable)
 			frame := w.Bytes()
 			for _, p := range peers {
 				if p == m.cfg.Self {
 					continue
 				}
-				m.dialer.CallTimeout(p, MethodHello, frame, m.cfg.CallTimeout)
+				body, err := m.dialer.CallTimeout(p, MethodHello, frame, m.cfg.CallTimeout)
+				if err != nil || len(body) == 0 {
+					continue
+				}
+				br := wire.NewReader(body)
+				d := br.Uvarint()
+				if br.Done() != nil {
+					continue
+				}
+				m.mu.Lock()
+				if d > m.peerDelivered[p] {
+					m.peerDelivered[p] = d
+				}
+				m.mu.Unlock()
 			}
 		}
 		if m.rt.Sleep(m.cfg.HeartbeatEvery) != nil {

@@ -294,3 +294,62 @@ func TestBroadcastDeterministic(t *testing.T) {
 		t.Fatalf("nondeterministic:\n%s\n%s", a, b)
 	}
 }
+
+func TestTruncateBelowGatedByPeerDelivery(t *testing.T) {
+	s := sim.New(9)
+	c := newCluster(t, s, 3)
+	s.Go(func() {
+		for i := 0; i < 10; i++ {
+			if err := c.members[0].Broadcast([]byte(fmt.Sprintf("w%d", i))); err != nil {
+				t.Errorf("broadcast %d: %v", i, err)
+				return
+			}
+		}
+		// Before any heartbeat round trip the stability floor is 0:
+		// truncation must be a no-op however high the requested floor.
+		c.members[0].TruncateBelow(100)
+		if got := c.members[0].ArchiveLen(); got != 10 {
+			t.Errorf("truncated before stability known: %d entries left", got)
+		}
+		// After heartbeats circulate, every live member has reported
+		// delivering all 10, so the full truncation goes through.
+		s.Sleep(500 * time.Millisecond)
+		c.members[0].TruncateBelow(100)
+		if got := c.members[0].ArchiveLen(); got != 0 {
+			t.Errorf("sequencer archive not truncated: %d entries left", got)
+		}
+		// Non-sequencer members learn the floor from Hello frames.
+		c.members[1].TruncateBelow(100)
+		if got := c.members[1].ArchiveLen(); got != 0 {
+			t.Errorf("member archive not truncated: %d entries left", got)
+		}
+		s.Stop()
+	})
+	c.run(time.Hour)
+	if fl := c.members[0].Truncated(); fl == 0 {
+		t.Fatal("truncation floor never advanced")
+	}
+}
+
+func TestTruncatedEntriesNotRearchived(t *testing.T) {
+	s := sim.New(11)
+	c := newCluster(t, s, 2)
+	s.Go(func() {
+		for i := 0; i < 5; i++ {
+			if err := c.members[0].Broadcast([]byte(fmt.Sprintf("w%d", i))); err != nil {
+				t.Errorf("broadcast %d: %v", i, err)
+				return
+			}
+		}
+		s.Sleep(500 * time.Millisecond)
+		c.members[0].TruncateBelow(4)
+		if got := c.members[0].ArchiveLen(); got != 2 {
+			t.Errorf("archive has %d entries, want 2 (seqs 4,5)", got)
+		}
+		if c.members[0].ArchiveBytes() == 0 {
+			t.Error("archive bytes should be nonzero while entries remain")
+		}
+		s.Stop()
+	})
+	c.run(time.Hour)
+}

@@ -1,0 +1,31 @@
+// Package broadcast implements the reliable, totally-ordered broadcast
+// protocol that the master set runs (§3 of the paper, which defers the
+// protocol itself to Kaashoek et al.'s sequencer design [8]).
+//
+// The design follows the cited protocol's architecture: one member — the
+// sequencer — assigns a global sequence number to every message and
+// replicates it to all members; members deliver messages strictly in
+// sequence order and fetch any gaps. The master set is trusted, so the
+// protocol tolerates only benign (crash) failures: when the sequencer
+// stops responding, the next member in the fixed priority order syncs the
+// log from every reachable member and takes over.
+//
+// Guarantees (under crash failures and a fair-lossless network):
+//
+//	Agreement   — every running member delivers the same messages.
+//	Total order — deliveries happen in one global sequence.
+//	Validity    — a Broadcast that returns nil was assigned a slot and
+//	              replicated to every member not suspected as crashed.
+//
+// Delivered messages are archived (still keyed by sequence number) so
+// lagging members can fetch them; the hosting node bounds the archive by
+// calling TruncateBelow once history has become stable — in this system,
+// when a core.Master delivers a stability checkpoint. A member that was
+// partitioned across a truncation cannot fetch the gap back and needs a
+// full state transfer.
+//
+// Operational note: the hosting master wires Config.CallTimeout to
+// Params.KeepAliveEvery, so KeepAliveEvery doubles as the broadcast RPC
+// timeout — keep one-way link latency well under half of it or every
+// commit replication times out and peers get falsely suspected.
+package broadcast

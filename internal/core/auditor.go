@@ -40,6 +40,10 @@ type AuditorConfig struct {
 	Peers []string
 	// MasterAddrs are the masters it reports misbehaviour to.
 	MasterAddrs []string
+	// MasterPubs are the trusted master keys, used to authenticate
+	// stability checkpoints before truncating the broadcast archive.
+	// Empty disables checkpoint-driven truncation at the auditor.
+	MasterPubs []cryptoutil.PublicKey
 	// CPU, if non-nil, charges modelled service times. The cost model is
 	// where the auditor's advantages live: it never signs, never sends
 	// results to clients, and caches repeated queries (§3.4).
@@ -54,6 +58,10 @@ type bufferedWrite struct {
 	opBytes    []byte
 	receivedAt time.Time
 }
+
+// maxAuditorMarks bounds the auditor's version->seq mark index (used
+// only to translate checkpoint versions into archive truncation floors).
+const maxAuditorMarks = 4096
 
 // Auditor re-executes pledged reads against its own lagging replica and
 // reports any slave whose pledge does not match the trusted result
@@ -76,6 +84,7 @@ type Auditor struct {
 	stats    AuditorStats
 	stopped  bool
 	masterV  uint64          // highest version committed by masters (observed)
+	marks    []versionMark   // version -> broadcast seq (archive truncation)
 	detected map[string]bool // slave pubs already reported
 }
 
@@ -176,6 +185,29 @@ func (a *Auditor) deliver(seq uint64, msg []byte) {
 	r := wire.NewReader(msg)
 	var opsBytes [][]byte
 	switch r.Byte() {
+	case bcCheckpoint:
+		// Stability: history below the checkpoint will never be fetched
+		// again; drop it from this member's broadcast archive too. The
+		// auditor's own write buffer is untouched — it drains as the
+		// audit replica advances and is bounded by the audit lag.
+		ck, err := DecodeCheckpoint(r)
+		if err != nil {
+			return
+		}
+		// Only a checkpoint signed by a trusted master may truncate:
+		// MethodSubmit does not authenticate its caller.
+		if len(a.cfg.MasterPubs) == 0 || ck.Verify(a.cfg.MasterPubs) != nil {
+			return
+		}
+		chargeCPU(a.cfg.CPU, a.cfg.Params.Costs.VerifySig)
+		a.mu.Lock()
+		var floor uint64
+		floor, a.marks = pruneMarks(a.marks, ck.Version)
+		a.mu.Unlock()
+		if floor > 0 {
+			a.bcast.TruncateBelow(floor)
+		}
+		return
 	case bcWrite:
 		_ = r.String() // write id, unused here
 		wr, err := DecodeWriteRequest(r)
@@ -207,6 +239,15 @@ func (a *Auditor) deliver(seq uint64, msg []byte) {
 	for _, opBytes := range opsBytes {
 		a.masterV++
 		a.writes[a.masterV] = bufferedWrite{opBytes: opBytes, receivedAt: a.rt.Now()}
+	}
+	if len(opsBytes) > 0 {
+		a.marks = append(a.marks, versionMark{version: a.masterV, seq: seq})
+		// The auditor cannot know whether masters checkpoint; cap the
+		// mark index so it stays bounded either way (dropping the oldest
+		// marks only makes archive truncation more conservative).
+		if len(a.marks) > maxAuditorMarks {
+			a.marks = append([]versionMark(nil), a.marks[len(a.marks)-maxAuditorMarks:]...)
+		}
 	}
 	if lag := a.masterV - a.replica.Version(); lag > a.stats.VersionLagMax {
 		a.stats.VersionLagMax = lag

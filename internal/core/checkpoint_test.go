@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// newStabilityRig builds an unstarted master whose store is at the given
+// version, for white-box stability-policy tests.
+func newStabilityRig(t *testing.T, version int, minRetain int) *Master {
+	t.Helper()
+	s := sim.New(1)
+	net := rpc.NewSimNet(s, sim.Const(time.Millisecond))
+	initial := store.New()
+	for i := 0; i < version; i++ {
+		initial.Apply(store.Put{Key: "k", Value: []byte{byte(i)}})
+	}
+	m, err := NewMaster(MasterConfig{
+		Addr:                "m0",
+		Keys:                cryptoutil.DeriveKeyPair("master", 0),
+		Params:              DefaultParams(),
+		Peers:               []string{"m0"},
+		CheckpointMinRetain: minRetain,
+	}, s, net.Dialer("m0"), initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStableVersionLaggingAckPolicy pins the policy that keeps one
+// untrusted slave from defeating the bounded-memory guarantee: a slave
+// that keeps acking an ancient version (never silent, so CheckpointMaxLag
+// never ungates it) must stop gating stability once its version lag
+// exceeds the maxAckBehind bound, while a merely-slow slave inside the
+// bound still pins history to the cheap record-replay path.
+func TestStableVersionLaggingAckPolicy(t *testing.T) {
+	const cur = 100
+	m := newStabilityRig(t, cur, 4) // maxAckBehind = 32
+	m.AddSlave("s-fresh", cryptoutil.DeriveKeyPair("slave", 0).Public)
+	m.AddSlave("s-behind", cryptoutil.DeriveKeyPair("slave", 1).Public)
+
+	m.recordAck("s-fresh", cur)
+	m.recordAck("s-behind", cur-40) // beyond maxAckBehind: adversarial or hopeless
+	m.mu.Lock()
+	got := m.stableVersionLocked(m.rt.Now())
+	m.mu.Unlock()
+	if got != cur {
+		t.Fatalf("stable = %d with a 40-behind acker; want %d (it must not gate)", got, cur)
+	}
+
+	m.recordAck("s-behind", cur-20) // inside the bound: honest-but-slow
+	m.mu.Lock()
+	got = m.stableVersionLocked(m.rt.Now())
+	m.mu.Unlock()
+	if got != cur-20 {
+		t.Fatalf("stable = %d with a 20-behind acker; want %d (it should gate)", got, cur-20)
+	}
+
+	// A forged ack claiming a future version must not raise stability.
+	m.recordAck("s-behind", cur+1000)
+	m.mu.Lock()
+	got = m.stableVersionLocked(m.rt.Now())
+	m.mu.Unlock()
+	if got != cur {
+		t.Fatalf("stable = %d with a future-version acker; want %d", got, cur)
+	}
+}
+
+// TestRecordAckDropsNonMembers pins the exclusion-leak guard: an ack
+// arriving from a slave that was just removed from the set must not
+// re-create its entry.
+func TestRecordAckDropsNonMembers(t *testing.T) {
+	m := newStabilityRig(t, 10, 4)
+	m.AddSlave("s0", cryptoutil.DeriveKeyPair("slave", 0).Public)
+	m.recordAck("ghost", 5)
+	m.mu.Lock()
+	_, ghost := m.acks["ghost"]
+	_, member := m.acks["s0"]
+	m.mu.Unlock()
+	if ghost {
+		t.Fatal("ack from a non-member slave was recorded")
+	}
+	if !member {
+		t.Fatal("AddSlave should seed the member's ack entry")
+	}
+}

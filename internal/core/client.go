@@ -307,59 +307,78 @@ func (c *Client) Write(op store.Op) (uint64, error) {
 	return 0, rpc.ErrUnreachable
 }
 
-// WriteMulti submits ops concurrently — the pipelined commit-wait. A
-// batching master coalesces the overlapping requests into batched
-// commits, so n pipelined writes cost ~n/BatchSize signatures instead
-// of n. It waits for every commit and returns the assigned versions in
-// submission order; the first failure is returned after all writes
-// settle.
+// WriteMulti submits a whole wave of ops in ONE RPC frame
+// (MethodWriteMulti): each op is individually signed (admission is
+// per-op, as for Write) but the wave shares a single round trip, and the
+// master feeds it straight into its batch accumulator — so n writes cost
+// ~n/BatchSize signatures and 1 network exchange instead of n of each.
+// It returns the assigned versions in submission order; an op the
+// pipeline dropped reports version 0 and an aggregate error.
 func (c *Client) WriteMulti(ops []store.Op) ([]uint64, error) {
-	versions := make([]uint64, len(ops))
-	errs := make([]error, len(ops))
-	if s, ok := c.rt.(*sim.Sim); ok {
-		// Virtual time: spawn a task per write and await promises, so
-		// the scheduler sees every waiter.
-		promises := make([]*sim.Promise, len(ops))
-		for i := range ops {
-			promises[i] = s.NewPromise()
-		}
-		for i, op := range ops {
-			i, op := i, op
-			c.rt.Spawn(func() {
-				v, err := c.Write(op)
-				if err != nil {
-					promises[i].Reject(err)
-					return
-				}
-				promises[i].Resolve(v)
-			})
-		}
-		for i := range ops {
-			v, err := promises[i].Future().Await()
-			if err != nil {
-				errs[i] = err
-				continue
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	frames := make([][]byte, len(ops))
+	for i, op := range ops {
+		wr := SignWrite(c.cfg.Keys, op)
+		w := wire.NewWriter(len(wr.OpBytes) + 160)
+		wr.Encode(w)
+		frames[i] = w.Bytes()
+	}
+	req := wire.NewWriter(64)
+	req.BytesSlice(frames)
+
+	for attempt := 0; attempt < 2; attempt++ {
+		c.mu.Lock()
+		masterAddr := c.masterAddr
+		c.mu.Unlock()
+		body, err := c.dlr.Call(masterAddr, MethodWriteMulti, req.Bytes())
+		if err == nil {
+			r := wire.NewReader(body)
+			n := r.Uvarint()
+			if r.Err() == nil && n != uint64(len(ops)) {
+				return nil, fmt.Errorf("core: write wave reply carries %d versions for %d ops", n, len(ops))
 			}
-			versions[i] = v.(uint64)
+			versions := make([]uint64, 0, n)
+			for i := uint64(0); i < n; i++ {
+				versions = append(versions, r.Uvarint())
+			}
+			if err := r.Done(); err != nil {
+				return nil, err
+			}
+			var failed int
+			for _, v := range versions {
+				if v == 0 {
+					failed++
+				}
+			}
+			c.mu.Lock()
+			c.stats.WritesOK += uint64(len(versions) - failed)
+			c.stats.WritesFailed += uint64(failed)
+			c.mu.Unlock()
+			if failed > 0 {
+				return versions, fmt.Errorf("core: %d of %d wave writes were not committed", failed, len(ops))
+			}
+			return versions, nil
 		}
-	} else {
-		var wg sync.WaitGroup
-		for i, op := range ops {
-			i, op := i, op
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				versions[i], errs[i] = c.Write(op)
-			}()
+		if rpc.IsRemote(err) {
+			c.mu.Lock()
+			c.stats.WritesFailed += uint64(len(ops))
+			c.mu.Unlock()
+			return nil, err
 		}
-		wg.Wait()
+		// Transport failure: master crashed; redo setup and retry once.
+		if rerr := c.resetup(); rerr != nil {
+			c.mu.Lock()
+			c.stats.WritesFailed += uint64(len(ops))
+			c.mu.Unlock()
+			return nil, rerr
+		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return versions, err
-		}
-	}
-	return versions, nil
+	c.mu.Lock()
+	c.stats.WritesFailed += uint64(len(ops))
+	c.mu.Unlock()
+	return nil, rpc.ErrUnreachable
 }
 
 // Read executes q through the untrusted read protocol (§3.2) with the

@@ -147,6 +147,7 @@ func newTestCluster(t *testing.T, s *sim.Sim, o clusterOpts) *testCluster {
 		Params:      o.params,
 		Peers:       peers,
 		MasterAddrs: masterAddrs,
+		MasterPubs:  masterPubs,
 		CPU:         s.NewResource("auditor/cpu", 1),
 		Seed:        3000,
 	}, s, c.net.Dialer(auditorAddr), c.initial)

@@ -12,12 +12,13 @@ import (
 // broadcast package's method names to their broadcast member.
 const (
 	// Master methods.
-	MethodWrite    = "m.write"    // client -> master: ordered write
-	MethodGetSlave = "m.getslave" // client -> master: slave assignment (setup)
-	MethodCheck    = "m.check"    // client -> master: double-check a read
-	MethodReport   = "m.report"   // client/auditor -> master: incriminating pledge
-	MethodSync     = "m.sync"     // slave -> master: fetch missed updates
-	MethodSnapshot = "m.snapshot" // slave -> master: full state transfer (bootstrap/recovery)
+	MethodWrite      = "m.write"      // client -> master: ordered write
+	MethodWriteMulti = "m.writemulti" // client -> master: wave of writes, one frame
+	MethodGetSlave   = "m.getslave"   // client -> master: slave assignment (setup)
+	MethodCheck      = "m.check"      // client -> master: double-check a read
+	MethodReport     = "m.report"     // client/auditor -> master: incriminating pledge
+	MethodSync       = "m.sync"       // slave -> master: fetch missed updates
+	MethodSnapshot   = "m.snapshot"   // slave -> master: full state transfer (bootstrap/recovery)
 
 	// Slave methods.
 	MethodUpdate      = "s.update"      // master -> slave: committed write + stamp

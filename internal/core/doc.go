@@ -1,0 +1,45 @@
+// Package core implements the paper's replication protocol — the roles,
+// signed evidence, and message flows of "Enforcing Fair Sharing of
+// Peer-to-Peer Resources"-era secure content replication (Popescu,
+// Crispo, Tanenbaum, HotOS 2003): trusted master servers order and
+// execute writes, marginally trusted slave servers execute arbitrary
+// read queries under signed "pledges", clients probabilistically
+// double-check answers against masters, and a background auditor
+// re-executes every pledged read so any slave returning a wrong answer
+// is eventually caught red-handed and excluded from the system.
+//
+// Map from paper sections to the implementation:
+//
+//	§2   (system model)      — ACL, DirectoryService, pki certificates;
+//	                           Client.Setup obtains the certified master
+//	                           set and slave assignments.
+//	§3.1 (writes)            — Master.handleWrite/handleWriteMulti order
+//	                           writes through the master-set broadcast;
+//	                           VersionStamp is the signed, time-stamped
+//	                           content version pushed to slaves via
+//	                           updates and keep-alives; max_latency
+//	                           paces commits and bounds staleness.
+//	§3.2 (reads)             — Slave.handleRead answers with a Pledge
+//	                           (query copy, result hash, latest stamp);
+//	                           Client.verifyReply enforces freshness.
+//	§3.3 (double-checking)   — Client.doubleCheck, the master's greedy-
+//	                           client throttling (greedyTracker).
+//	§3.4 (auditing)          — Auditor re-executes pledged reads on a
+//	                           lagging replica; batched commits amortize
+//	                           the master's dominant signing cost
+//	                           (SignBatchStamp + merkle proofs).
+//	§3.5 (recovery)          — handleReport/applyExclude convict and
+//	                           exclude liars; ReadmitSlave brings a
+//	                           recovered slave back; Bootstrap performs
+//	                           the verified full state transfer.
+//	§4   (refinements)       — KSlaves multi-slave reads, ReadSensitive
+//	                           trusted-host execution, ReadAtLevel.
+//
+// Beyond the paper, the package adds two scaling mechanisms the 2003
+// design defers: batched, pipelined commits (one signature per batch,
+// see types.go) and stability-driven checkpointing (checkpoint.go) —
+// slaves acknowledge applied versions on every keep-alive/update reply,
+// masters truncate the op log and broadcast archive below the stable
+// version, and slaves that fell behind a checkpoint recover through
+// snapshot-first sync instead of unbounded history replay.
+package core

@@ -26,7 +26,8 @@ const (
 	bcAdopt
 	bcExclude
 	bcReadmit
-	bcBatch // batched writes: one frame, one signature, many versions
+	bcBatch      // batched writes: one frame, one signature, many versions
+	bcCheckpoint // stability checkpoint: truncate history below version V
 )
 
 // MasterStats counts a master's activity.
@@ -43,10 +44,15 @@ type MasterStats struct {
 	Reports          uint64
 	Exclusions       uint64
 	SyncsServed      uint64
+	SnapshotSyncs    uint64 // syncs served snapshot-first (below baseVersion)
 	KeepAlivesSent   uint64
 	UpdatesSent      uint64
 	ClientsNotified  uint64
 	SlavesAdopted    uint64
+
+	CheckpointsProposed uint64 // stability checkpoints this master broadcast
+	CheckpointsApplied  uint64 // delivered checkpoints that truncated history
+	OpsTruncated        uint64 // OpRecords dropped from the log after stability
 }
 
 // MasterConfig configures a master server.
@@ -85,6 +91,19 @@ type MasterConfig struct {
 	// company before a short batch is flushed anyway (0 = MaxLatency/4).
 	// Irrelevant when BatchSize <= 1.
 	BatchTimeout time.Duration
+	// CheckpointEvery is the stability-checkpoint cadence: how often the
+	// master computes the stable version over its slaves' acks and
+	// proposes truncating history below it. 0 disables checkpointing
+	// (the op log and broadcast archive then grow with total writes).
+	CheckpointEvery time.Duration
+	// CheckpointMinRetain is the minimum number of recent OpRecords kept
+	// in the log regardless of stability, so slightly-behind slaves sync
+	// by record replay instead of snapshot transfer (0 = 64).
+	CheckpointMinRetain int
+	// CheckpointMaxLag is how long a slave may stay silent before it
+	// stops gating stability; a slave silent longer recovers via
+	// snapshot-first sync (0 = 4x KeepAliveEvery).
+	CheckpointMaxLag time.Duration
 }
 
 type slaveEntry struct {
@@ -113,8 +132,12 @@ type Master struct {
 
 	mu          sync.Mutex
 	store       *store.Store
-	baseVersion uint64     // content version the deployment started at
-	log         []OpRecord // log[v-baseVersion-1] = committed op + evidence for v
+	baseVersion uint64              // floor of the retained log (initial version, then advanced by checkpoints)
+	log         []OpRecord          // log[v-baseVersion-1] = committed op + evidence for v
+	acks        map[string]slaveAck // slave addr -> newest acknowledged version
+	marks       []versionMark       // batch boundaries: version -> (digest, broadcast seq)
+	checkpoint  Checkpoint          // most recent stability checkpoint recorded
+	snap        *ckptSnapshot       // retained snapshot for snapshot-first sync
 	lastCommit  time.Time
 	nextWriteAt time.Time
 	batchQueue  []batchWaiter // admitted writes awaiting the next flush
@@ -146,6 +169,12 @@ func NewMaster(cfg MasterConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.
 	if cfg.BatchTimeout <= 0 {
 		cfg.BatchTimeout = cfg.Params.MaxLatency / 4
 	}
+	if cfg.CheckpointMinRetain <= 0 {
+		cfg.CheckpointMinRetain = 64
+	}
+	if cfg.CheckpointMaxLag <= 0 {
+		cfg.CheckpointMaxLag = 4 * cfg.Params.KeepAliveEvery
+	}
 	m := &Master{
 		cfg:         cfg,
 		rt:          rt,
@@ -153,6 +182,7 @@ func NewMaster(cfg MasterConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		store:       initial.Clone(),
 		baseVersion: initial.Version(),
+		acks:        make(map[string]slaveAck),
 		clients:     make(map[string]*clientEntry),
 		peerSlaves:  make(map[string][]slaveEntry),
 		adopted:     make(map[string]bool),
@@ -182,6 +212,9 @@ func (m *Master) Start() {
 	m.rt.Spawn(m.keepAliveLoop)
 	m.rt.Spawn(m.slaveListLoop)
 	m.rt.Spawn(m.crashMonitorLoop)
+	if m.cfg.CheckpointEvery > 0 {
+		m.rt.Spawn(m.checkpointLoop)
+	}
 }
 
 // Stop halts the master's loops.
@@ -233,6 +266,9 @@ func (m *Master) AddSlave(addr string, pub cryptoutil.PublicKey) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.slaves = append(m.slaves, slaveEntry{addr: addr, pub: pub, cert: cert})
+	// A fresh slave gates stability until its first ack (or until it has
+	// been silent for CheckpointMaxLag).
+	m.acks[addr] = slaveAck{version: 0, at: m.rt.Now()}
 }
 
 // SlaveCount returns the number of live slaves in this master's set.
@@ -250,6 +286,8 @@ func (m *Master) Handle(from, method string, body []byte) ([]byte, error) {
 		return m.bcast.Handle(from, method, body)
 	case MethodWrite:
 		return m.handleWrite(body)
+	case MethodWriteMulti:
+		return m.handleWriteMulti(body)
 	case MethodGetSlave:
 		return m.handleGetSlave(body)
 	case MethodCheck:
@@ -281,6 +319,23 @@ type batchWaiter struct {
 	wr WriteRequest
 }
 
+// admitWrite performs the admission checks shared by the single-write
+// and wave paths: client signature, ACL, and op decodability (rejected
+// here so a batch never carries an undecodable op).
+func (m *Master) admitWrite(wr *WriteRequest) error {
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.VerifySig)
+	if err := wr.VerifySig(); err != nil {
+		return fmt.Errorf("%w: bad signature", ErrDenied)
+	}
+	if m.cfg.ACL != nil && !m.cfg.ACL.Permits(wr.ClientPub) {
+		return ErrDenied
+	}
+	if _, err := store.DecodeOp(wr.OpBytes); err != nil {
+		return fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	return nil
+}
+
 func (m *Master) handleWrite(body []byte) ([]byte, error) {
 	r := wire.NewReader(body)
 	wr, err := DecodeWriteRequest(r)
@@ -290,16 +345,8 @@ func (m *Master) handleWrite(body []byte) ([]byte, error) {
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.VerifySig)
-	if err := wr.VerifySig(); err != nil {
-		return nil, fmt.Errorf("%w: bad signature", ErrDenied)
-	}
-	if m.cfg.ACL != nil && !m.cfg.ACL.Permits(wr.ClientPub) {
-		return nil, ErrDenied
-	}
-	// Reject undecodable ops at admission so a batch never carries one.
-	if _, err := store.DecodeOp(wr.OpBytes); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrDenied, err)
+	if err := m.admitWrite(&wr); err != nil {
+		return nil, err
 	}
 
 	m.mu.Lock()
@@ -325,6 +372,81 @@ func (m *Master) handleWrite(body []byte) ([]byte, error) {
 	out := wire.NewWriter(16)
 	out.Uvarint(version)
 	return out.Bytes(), nil
+}
+
+// handleWriteMulti admits a whole wave of writes from one RPC frame: the
+// client signs each op individually (admission checks are unchanged) but
+// ships them together, so a wave costs one round trip instead of one per
+// op. The wave feeds the batch accumulator back-to-back and therefore
+// coalesces into full batches without relying on timer luck; the reply
+// carries the assigned version for every op in submission order, 0 for
+// any the commit pipeline dropped.
+func (m *Master) handleWriteMulti(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	frames := r.BytesSlice()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("core: empty write wave")
+	}
+	wrs := make([]WriteRequest, len(frames))
+	for i, f := range frames {
+		fr := wire.NewReader(f)
+		wr, err := DecodeWriteRequest(fr)
+		if err != nil {
+			return nil, err
+		}
+		if err := fr.Done(); err != nil {
+			return nil, err
+		}
+		if err := m.admitWrite(&wr); err != nil {
+			return nil, fmt.Errorf("wave op %d: %w", i, err)
+		}
+		wrs[i] = wr
+	}
+
+	ids := make([]string, len(wrs))
+	m.mu.Lock()
+	for i := range wrs {
+		m.stats.WritesAdmitted++
+		ids[i] = fmt.Sprintf("%s/%d", m.cfg.Addr, m.stats.WritesAdmitted)
+	}
+	m.mu.Unlock()
+
+	handles := make([]commitHandle, len(wrs))
+	versions := make([]uint64, len(wrs))
+	for i, wr := range wrs {
+		handles[i] = m.registerPending(ids[i])
+		if err := m.enqueueWrite(batchWaiter{id: ids[i], wr: wr}); err != nil {
+			m.cancelPending(ids[i])
+			// Already-enqueued ops are past admission; wait for them
+			// below, report this and later ones as uncommitted.
+			for j := i; j < len(wrs); j++ {
+				handles[j] = commitHandle{}
+			}
+			break
+		}
+	}
+	// One deadline covers the whole wave: the waits run back to back, so
+	// per-op timeouts would otherwise stack to wave-size x ReadTimeout.
+	deadline := time.Now().Add(m.cfg.Params.ReadTimeout)
+	for i := range wrs {
+		if handles[i] == (commitHandle{}) {
+			continue
+		}
+		v, err := m.awaitCommitUntil(ids[i], handles[i], deadline)
+		if err != nil {
+			continue // version stays 0: not committed
+		}
+		versions[i] = v
+	}
+	w := wire.NewWriter(8 * (len(versions) + 1))
+	w.Uvarint(uint64(len(versions)))
+	for _, v := range versions {
+		w.Uvarint(v)
+	}
+	return w.Bytes(), nil
 }
 
 // enqueueWrite adds an admitted write to the accumulator and flushes if
@@ -470,11 +592,22 @@ func (m *Master) cancelQueued(id string) bool {
 }
 
 func (m *Master) awaitCommit(id string, h commitHandle) (uint64, error) {
+	return m.awaitCommitUntil(id, h, time.Now().Add(m.cfg.Params.ReadTimeout))
+}
+
+// awaitCommitUntil waits for write id's commit up to an absolute
+// deadline (real runtime only; the virtual-time path resolves through
+// promises and the sim's shutdown semantics).
+func (m *Master) awaitCommitUntil(id string, h commitHandle, deadline time.Time) (uint64, error) {
 	if h.ch != nil {
+		wait := time.Until(deadline)
+		if wait < 0 {
+			wait = 0
+		}
 		select {
 		case v := <-h.ch:
 			return v, nil
-		case <-time.After(m.cfg.Params.ReadTimeout):
+		case <-time.After(wait):
 			// Withdraw from the accumulator first: a write removed while
 			// still queued is guaranteed never to commit, so the client's
 			// timeout error is truthful and a retry cannot double-apply.
@@ -521,13 +654,15 @@ func (m *Master) deliver(seq uint64, msg []byte) {
 		if err != nil {
 			return
 		}
-		m.applyBatch([]batchWaiter{{id: id, wr: wr}})
+		m.applyBatch(seq, []batchWaiter{{id: id, wr: wr}})
 	case bcBatch:
 		batch, err := decodeBatchMessage(r)
 		if err != nil {
 			return
 		}
-		m.applyBatch(batch)
+		m.applyBatch(seq, batch)
+	case bcCheckpoint:
+		m.applyCheckpoint(r)
 	case bcSlaveList:
 		masterAddr := r.String()
 		n := r.Uvarint()
@@ -581,8 +716,10 @@ func decodeBatchMessage(r *wire.Reader) ([]batchWaiter, error) {
 // version per op, exactly the sequence sequential commits would
 // produce), then sign a single stamp over the batch and push a single
 // update per slave. Undecodable ops are skipped deterministically (every
-// replica runs the same check), so replicas stay in lock-step.
-func (m *Master) applyBatch(batch []batchWaiter) {
+// replica runs the same check), so replicas stay in lock-step. seq is
+// the broadcast slot that carried the commit; it anchors the batch
+// boundary for checkpoint truncation of the broadcast archive.
+func (m *Master) applyBatch(seq uint64, batch []batchWaiter) {
 	type appliedOp struct {
 		id      string
 		opBytes []byte
@@ -638,6 +775,13 @@ func (m *Master) applyBatch(batch []batchWaiter) {
 			Stamp: stamp, First: first, Count: count, Proof: proofs[i],
 		})
 	}
+	// Mark the batch boundary for the checkpoint machinery: the state
+	// digest here is what a checkpoint at version `last` would certify,
+	// and seq is the archive slot stability can truncate up to. Without
+	// checkpointing nothing ever prunes the marks, so skip them.
+	if m.cfg.CheckpointEvery > 0 {
+		m.marks = append(m.marks, versionMark{version: last, digest: m.store.StateDigest(), seq: seq})
+	}
 	m.lastCommit = now
 	m.stats.WritesApplied += count
 	m.stats.BatchesApplied++
@@ -678,7 +822,12 @@ func (m *Master) applyBatch(batch []batchWaiter) {
 		sl := sl
 		m.rt.Spawn(func() {
 			chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.SendReply)
-			m.dlr.CallTimeout(sl.addr, method, frame, m.cfg.Params.ReadTimeout)
+			ack, err := m.dlr.CallTimeout(sl.addr, method, frame, m.cfg.Params.ReadTimeout)
+			if err == nil {
+				if v, ok := parseAck(ack); ok {
+					m.recordAck(sl.addr, v)
+				}
+			}
 			m.mu.Lock()
 			m.stats.UpdatesSent++
 			m.mu.Unlock()
@@ -870,6 +1019,7 @@ func (m *Master) applyExclude(r *wire.Reader) {
 	if ownIdx >= 0 {
 		excludedAddr = m.slaves[ownIdx].addr
 		m.slaves = append(m.slaves[:ownIdx], m.slaves[ownIdx+1:]...)
+		delete(m.acks, excludedAddr)
 		m.stats.Exclusions++
 	}
 	m.mu.Unlock()
@@ -938,14 +1088,23 @@ func (m *Master) reassignClientsOf(slaveAddr string, excl pki.Exclusion) {
 // handleSync replays missed history. The request is the first wanted
 // version, optionally followed by a protocol byte: 1 selects the v2
 // reply, a sequence of OpRecords that carry batch stamps and membership
-// proofs, so a multi-op commit is replayed under its single signature.
-// The version-less request gets the original per-op-stamp reply; ops
-// that were committed inside a batch get an equivalent per-op stamp
-// signed lazily (cold path — the hot path stays amortized).
+// proofs, so a multi-op commit is replayed under its single signature;
+// 2 selects v3, which adds the snapshot-first fallback for requests that
+// predate the retained log. A v3 reply leads with a mode byte: 0 means
+// records only (the v2 body follows), 1 means snapshot-first — a signed
+// store snapshot, then the OpRecord suffix committed after it, then the
+// closing stamp. The version-less request gets the original
+// per-op-stamp reply; ops that were committed inside a batch get an
+// equivalent per-op stamp signed lazily (cold path — the hot path stays
+// amortized).
 func (m *Master) handleSync(body []byte) ([]byte, error) {
 	r := wire.NewReader(body)
 	from := r.Uvarint()
-	v2 := r.Remaining() > 0 && r.Byte() == 1
+	proto := byte(0)
+	if r.Remaining() > 0 {
+		proto = r.Byte()
+	}
+	v2 := proto >= 1
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
@@ -953,9 +1112,12 @@ func (m *Master) handleSync(body []byte) ([]byte, error) {
 	m.stats.SyncsServed++
 	cur := m.store.Version()
 	if from <= m.baseVersion {
-		// History below the deployment's base is not replayable; replicas
-		// start from the same initial content, so this cannot happen for
-		// well-behaved slaves.
+		if proto >= 2 {
+			return m.serveSnapshotSyncLocked() // unlocks m.mu
+		}
+		// History below the retained base is not replayable and this
+		// caller cannot accept a snapshot; checkpoint-aware slaves send
+		// v3 and never see this error.
 		m.mu.Unlock()
 		return nil, fmt.Errorf("core: sync from version %d predates base %d", from, m.baseVersion)
 	}
@@ -979,12 +1141,19 @@ func (m *Master) handleSync(body []byte) ([]byte, error) {
 			rec.First, rec.Count, rec.Proof = rec.Version, 1, merkle.Proof{}
 			recs[i] = rec
 			m.mu.Lock()
-			m.log[rec.Version-m.baseVersion-1] = rec
+			// A checkpoint may have truncated the log while we signed;
+			// memoize only if the record's slot still exists.
+			if rec.Version > m.baseVersion && rec.Version-m.baseVersion <= uint64(len(m.log)) {
+				m.log[rec.Version-m.baseVersion-1] = rec
+			}
 			m.mu.Unlock()
 		}
 	}
 
 	w := wire.NewWriter(1024)
+	if proto >= 2 {
+		w.Byte(0) // v3 mode: records only
+	}
 	w.Uvarint(uint64(len(recs)))
 	for _, rec := range recs {
 		if v2 {
@@ -995,6 +1164,58 @@ func (m *Master) handleSync(body []byte) ([]byte, error) {
 		w.Bytes_(rec.OpBytes)
 		rec.Stamp.Encode(w)
 	}
+	stamp := SignStamp(m.cfg.Keys, cur, m.rt.Now())
+	stamp.Encode(w)
+	return w.Bytes(), nil
+}
+
+// serveSnapshotSyncLocked builds the v3 snapshot-first sync reply for a
+// slave whose request predates the retained log: the signed checkpoint
+// snapshot, the OpRecord suffix committed after it, and the closing
+// stamp. Called with m.mu held; it unlocks before signing.
+func (m *Master) serveSnapshotSyncLocked() ([]byte, error) {
+	m.stats.SnapshotSyncs++
+	cur := m.store.Version()
+	snap := m.snap
+	if snap != nil && snap.version < m.baseVersion {
+		// A checkpoint advanced baseVersion and its replacement snapshot
+		// is still being signed (applyCheckpoint signs outside the
+		// lock); the retained one can no longer anchor a suffix from the
+		// truncated log, so fall back to an inline snapshot.
+		snap = nil
+	}
+	var suffix []OpRecord
+	if snap != nil && cur > snap.version {
+		// The retained snapshot's version is >= baseVersion (it was
+		// captured at or after the truncation point), so the suffix is
+		// fully inside the retained log.
+		suffix = append(suffix, m.log[snap.version-m.baseVersion:cur-m.baseVersion]...)
+	}
+	var inline []byte
+	if snap == nil {
+		// No checkpoint snapshot retained (base predates the first
+		// checkpoint, or checkpointing is off with a non-zero initial
+		// version): serve the current state directly, empty suffix.
+		inline = m.store.EncodeSnapshot()
+	}
+	m.mu.Unlock()
+
+	if inline != nil {
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.HashCost(len(inline)))
+		stamp := SignStampWithOp(m.cfg.Keys, cur, m.rt.Now(), inline)
+		snap = &ckptSnapshot{version: cur, bytes: inline, stamp: stamp}
+	}
+
+	w := wire.NewWriter(len(snap.bytes) + 1024)
+	w.Byte(1) // v3 mode: snapshot-first
+	w.Bytes_(snap.bytes)
+	snap.stamp.Encode(w)
+	w.Uvarint(uint64(len(suffix)))
+	for _, rec := range suffix {
+		rec.Encode(w)
+	}
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.SendReply)
 	stamp := SignStamp(m.cfg.Keys, cur, m.rt.Now())
 	stamp.Encode(w)
 	return w.Bytes(), nil
@@ -1058,6 +1279,7 @@ func (m *Master) applyReadmit(r *wire.Reader) {
 		}
 		if !present {
 			m.slaves = append(m.slaves, slaveEntry{addr: cert.Addr, pub: cert.Subject, cert: cert})
+			m.acks[cert.Addr] = slaveAck{version: 0, at: m.rt.Now()}
 		}
 	}
 	m.mu.Unlock()
@@ -1101,7 +1323,14 @@ func (m *Master) keepAliveLoop() {
 		for _, sl := range slaves {
 			sl := sl
 			m.rt.Spawn(func() {
-				m.dlr.CallTimeout(sl.addr, MethodKeepAlive, frame, m.cfg.Params.KeepAliveEvery)
+				// The slave's reply acknowledges its applied version — the
+				// stability signal the checkpoint machinery runs on.
+				ack, err := m.dlr.CallTimeout(sl.addr, MethodKeepAlive, frame, m.cfg.Params.KeepAliveEvery)
+				if err == nil {
+					if v, ok := parseAck(ack); ok {
+						m.recordAck(sl.addr, v)
+					}
+				}
 				m.mu.Lock()
 				m.stats.KeepAlivesSent++
 				m.mu.Unlock()
@@ -1246,6 +1475,7 @@ func (m *Master) applyAdopt(r *wire.Reader) {
 			}
 			e.cert.Sign(m.cfg.Keys)
 			m.slaves = append(m.slaves, e)
+			m.acks[e.addr] = slaveAck{version: 0, at: m.rt.Now()}
 			m.stats.SlavesAdopted++
 			mine = append(mine, e)
 		}

@@ -22,6 +22,8 @@ type SlaveStats struct {
 	UpdatesOK      uint64
 	BatchesApplied uint64 // batched updates applied (1 sig verify each)
 	UpdatesSynced  uint64 // updates recovered via m.sync after a gap
+	SnapshotSyncs  uint64 // syncs answered snapshot-first (history truncated)
+	SyncsSkipped   uint64 // sync requests elided by the single-flight guard
 	KeepAlives     uint64
 }
 
@@ -55,6 +57,7 @@ type Slave struct {
 	mu        sync.Mutex
 	store     *store.Store
 	lastStamp VersionStamp
+	syncing   bool // single-flight: at most one syncFrom in progress
 	stats     SlaveStats
 }
 
@@ -213,7 +216,17 @@ func (s *Slave) handleKeepAlive(from string, body []byte) ([]byte, error) {
 		syncAddr := s.cfg.MasterAddr
 		s.rt.Spawn(func() { s.syncFrom(syncAddr) })
 	}
-	return nil, nil
+	// Acknowledge the applied version: masters aggregate these acks into
+	// the stability point that drives checkpoint truncation.
+	return s.ackLocked(), nil
+}
+
+// ackLocked encodes the slave's applied-version acknowledgement, the
+// reply body for keep-alives and updates. Caller holds s.mu.
+func (s *Slave) ackLocked() []byte {
+	w := wire.NewWriter(8)
+	w.Uvarint(s.store.Version())
+	return w.Bytes()
 }
 
 func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
@@ -268,8 +281,9 @@ func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
 	if stamp.Timestamp.After(s.lastStamp.Timestamp) && stamp.Version >= s.lastStamp.Version {
 		s.lastStamp = stamp
 	}
+	ack := s.ackLocked()
 	s.mu.Unlock()
-	return nil, nil
+	return ack, nil
 }
 
 // handleUpdateBatch applies one batched commit atomically: the single
@@ -346,24 +360,73 @@ func (s *Slave) handleUpdateBatch(from string, body []byte) ([]byte, error) {
 	if bu.Stamp.Timestamp.After(s.lastStamp.Timestamp) && bu.Stamp.Version >= s.lastStamp.Version {
 		s.lastStamp = bu.Stamp
 	}
+	ack := s.ackLocked()
 	s.mu.Unlock()
-	return nil, nil
+	return ack, nil
 }
 
-// syncFrom pulls all updates the replica is missing from a master
-// (MethodSync) and applies them in order.
+// syncFrom pulls the updates the replica is missing from a master
+// (MethodSync, protocol v3) and applies them in order. When the master
+// has truncated the wanted history below a stability checkpoint, the
+// reply is snapshot-first: a signed store snapshot replaces the replica
+// wholesale, then the OpRecord suffix committed after the snapshot is
+// replayed on top.
+//
+// Syncs are single-flight: every keep-alive or update that shows the
+// replica behind spawns a sync, and without the guard a long-offline
+// slave would launch one full-history transfer per keep-alive and melt
+// its memory. A skipped sync is always retried by the next keep-alive.
 func (s *Slave) syncFrom(masterAddr string) error {
 	s.mu.Lock()
+	if s.syncing {
+		s.stats.SyncsSkipped++
+		s.mu.Unlock()
+		return nil
+	}
+	s.syncing = true
 	from := s.store.Version() + 1
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.syncing = false
+		s.mu.Unlock()
+	}()
+
 	w := wire.NewWriter(16)
 	w.Uvarint(from)
-	w.Byte(1) // v2: reply with OpRecords (batch evidence preserved)
+	w.Byte(2) // v3: OpRecord reply, snapshot-first fallback allowed
 	body, err := s.dlr.CallTimeout(masterAddr, MethodSync, w.Bytes(), s.cfg.Params.ReadTimeout)
 	if err != nil {
 		return err
 	}
 	r := wire.NewReader(body)
+	var snapStore *store.Store
+	if r.Byte() == 1 {
+		// Snapshot-first: the wanted history predates the master's
+		// retained log. Verify the stamp authenticates the snapshot
+		// bytes before decoding, exactly as Bootstrap does.
+		snap := r.Bytes()
+		snapStamp, err := DecodeStamp(r)
+		if err != nil {
+			return err
+		}
+		if err := snapStamp.Verify(s.cfg.MasterPubs); err != nil {
+			return err
+		}
+		if !snapStamp.AuthenticatesOp(snap) {
+			return ErrBadStamp
+		}
+		chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
+		chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.HashCost(len(snap)))
+		snapStore, err = store.DecodeSnapshot(snap)
+		if err != nil {
+			return err
+		}
+		if snapStore.Version() != snapStamp.Version {
+			return fmt.Errorf("core: sync snapshot version %d does not match stamp %d",
+				snapStore.Version(), snapStamp.Version)
+		}
+	}
 	n := r.Uvarint()
 	type upd struct {
 		version uint64
@@ -407,9 +470,13 @@ func (s *Slave) syncFrom(masterAddr string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if snapStore != nil && snapStore.Version() > s.store.Version() {
+		s.store = snapStore
+		s.stats.SnapshotSyncs++
+	}
 	for _, u := range updates {
 		if u.version != s.store.Version()+1 {
-			continue // concurrent sync already applied it
+			continue // below the snapshot, or a concurrent update applied it
 		}
 		if err := s.store.ApplyAt(u.version, u.op); err != nil {
 			return err

@@ -245,6 +245,7 @@ func TestSlaveGapTriggersSync(t *testing.T) {
 			return nil, errors.New("unexpected method")
 		}
 		w := wire.NewWriter(512)
+		w.Byte(0) // v3 reply, records-only mode
 		w.Uvarint(2)
 		for i, op := range ops {
 			v := uint64(2 + i)

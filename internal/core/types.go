@@ -1,10 +1,6 @@
-// Package core implements the paper's replication protocol: trusted
-// master servers that order and execute writes, marginally trusted slave
-// servers that execute arbitrary read queries under signed "pledges",
-// clients that probabilistically double-check answers against masters,
-// and a background auditor that re-executes every pledged read so any
-// slave returning a wrong answer is eventually caught red-handed and
-// excluded from the system (§3).
+// Signed protocol evidence: version stamps, batch stamps and membership
+// proofs, op records, pledges, write requests, and the access-control
+// policy. See doc.go for the package overview.
 package core
 
 import (

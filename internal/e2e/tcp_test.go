@@ -114,7 +114,8 @@ func deploy(t *testing.T, nSlaves int, behaviors map[int]core.Behavior, mutMaste
 
 	d.auditor, err = core.NewAuditor(core.AuditorConfig{
 		Addr: auditorAddr, Keys: auditorKeys, Params: d.params,
-		Peers: peers, MasterAddrs: []string{masterAddr}, Seed: 2,
+		Peers: peers, MasterAddrs: []string{masterAddr},
+		MasterPubs: []cryptoutil.PublicKey{masterKeys.Public}, Seed: 2,
 	}, rt, d.dialer, initial)
 	if err != nil {
 		t.Fatal(err)

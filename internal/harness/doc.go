@@ -1,0 +1,20 @@
+// Package harness builds complete simulated deployments of the
+// replication system and runs the experiments indexed by Registry.
+// Every experiment function is deterministic for a fixed seed and
+// returns metrics tables; each experiment names the paper claim it
+// validates (E1's read-cost comparison of §1/§5 through E14's §3.5
+// recovery, plus the scaling experiments the reproduction adds: E15
+// batched commits for §3.4's signing bottleneck, E16 stability
+// checkpointing for bounded master memory).
+//
+// NewScenario wires masters, slaves, the auditor and clients onto one
+// sim.Sim + rpc.SimNet; experiments drive workloads against it in
+// virtual time and read the role stats afterwards.
+//
+// Timing gotchas when writing experiments (the sim package doc has the
+// full list): a Scenario's sim can be Run only once, so express phases
+// as one task chain; Params.KeepAliveEvery doubles as the broadcast RPC
+// timeout, so keep link latency well under KeepAliveEvery/2 when
+// shrinking timers; and Warmup() is the earliest moment slaves can
+// serve (first keep-alives).
+package harness

@@ -39,6 +39,7 @@ func Registry() []Experiment {
 		{"E13", "ablation: which conclusions survive cheap (modern) signatures", one(E13CostAblation)},
 		{"E14", "a recovered slave can be readmitted and serve cleanly (§3.5)", one(E14Recovery)},
 		{"E15", "batching amortizes the master's per-write signature (§3.4, §6)", one(E15BatchThroughput)},
+		{"E16", "stability checkpointing bounds master memory; stale slaves snapshot-sync (§3.1, §6)", one(E16Checkpointing)},
 	}
 }
 

@@ -1,8 +1,5 @@
-// Package harness builds complete simulated deployments of the
-// replication system and runs the experiments indexed in DESIGN.md /
-// EXPERIMENTS.md. Every experiment function is deterministic for a fixed
-// seed and returns metrics tables whose rows are what EXPERIMENTS.md
-// records.
+// Scenario construction: one simulated deployment (masters, slaves,
+// auditor, clients) on a SimNet. See doc.go for the package overview.
 package harness
 
 import (
@@ -35,6 +32,15 @@ type ScenarioConfig struct {
 	// pipeline (0 = unbatched / default timeout).
 	BatchSize    int
 	BatchTimeout time.Duration
+	// CheckpointEvery enables stability checkpointing at this cadence
+	// (0 = off: the op log and broadcast archive grow with total writes).
+	CheckpointEvery time.Duration
+	// CheckpointMinRetain is the record window always kept below the
+	// stable version (0 = master default).
+	CheckpointMinRetain int
+	// CheckpointMaxLag is how long a silent slave gates stability before
+	// it is left to snapshot-first sync (0 = master default).
+	CheckpointMaxLag time.Duration
 	// MasterCPUs / SlaveCPUs / AuditorCPUs are worker counts (default 1).
 	MasterCPUs  int
 	SlaveCPUs   int
@@ -131,19 +137,22 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 		cpu := s.NewResource(masterAddrs[i]+"/cpu", cfg.MasterCPUs)
 		sc.MasterCPU = append(sc.MasterCPU, cpu)
 		m, err := core.NewMaster(core.MasterConfig{
-			Addr:         masterAddrs[i],
-			Keys:         masterKeys[i],
-			Params:       cfg.Params,
-			ContentKey:   sc.Owner.Public,
-			Peers:        peers,
-			AuditorAddr:  auditorAddr,
-			AuditorPub:   auditorKeys.Public,
-			ACL:          sc.ACL,
-			Directory:    sc.Bound,
-			CPU:          cpu,
-			Seed:         cfg.Seed*1000 + int64(i),
-			BatchSize:    cfg.BatchSize,
-			BatchTimeout: cfg.BatchTimeout,
+			Addr:                masterAddrs[i],
+			Keys:                masterKeys[i],
+			Params:              cfg.Params,
+			ContentKey:          sc.Owner.Public,
+			Peers:               peers,
+			AuditorAddr:         auditorAddr,
+			AuditorPub:          auditorKeys.Public,
+			ACL:                 sc.ACL,
+			Directory:           sc.Bound,
+			CPU:                 cpu,
+			Seed:                cfg.Seed*1000 + int64(i),
+			BatchSize:           cfg.BatchSize,
+			BatchTimeout:        cfg.BatchTimeout,
+			CheckpointEvery:     cfg.CheckpointEvery,
+			CheckpointMinRetain: cfg.CheckpointMinRetain,
+			CheckpointMaxLag:    cfg.CheckpointMaxLag,
 		}, s, sc.Net.Dialer(masterAddrs[i]), sc.Initial)
 		if err != nil {
 			panic(err) // configuration bug in the experiment, not runtime
@@ -187,6 +196,7 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 		Params:      cfg.Params,
 		Peers:       peers,
 		MasterAddrs: masterAddrs,
+		MasterPubs:  masterPubs,
 		CPU:         sc.AuditorCPU,
 		Seed:        cfg.Seed * 3000,
 	}, s, sc.Net.Dialer(auditorAddr), sc.Initial)
@@ -251,6 +261,8 @@ func (sc *Scenario) TotalSlaveStats() core.SlaveStats {
 		t.UpdatesOK += st.UpdatesOK
 		t.BatchesApplied += st.BatchesApplied
 		t.UpdatesSynced += st.UpdatesSynced
+		t.SnapshotSyncs += st.SnapshotSyncs
+		t.SyncsSkipped += st.SyncsSkipped
 		t.KeepAlives += st.KeepAlives
 	}
 	return t
@@ -273,6 +285,10 @@ func (sc *Scenario) TotalMasterStats() core.MasterStats {
 		t.Reports += st.Reports
 		t.Exclusions += st.Exclusions
 		t.SyncsServed += st.SyncsServed
+		t.SnapshotSyncs += st.SnapshotSyncs
+		t.CheckpointsProposed += st.CheckpointsProposed
+		t.CheckpointsApplied += st.CheckpointsApplied
+		t.OpsTruncated += st.OpsTruncated
 		t.KeepAlivesSent += st.KeepAlivesSent
 		t.UpdatesSent += st.UpdatesSent
 		t.ClientsNotified += st.ClientsNotified

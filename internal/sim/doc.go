@@ -1,0 +1,29 @@
+// Package sim implements the deterministic discrete-event simulator the
+// experiments run on. It is not part of the paper's protocol; it is the
+// laboratory: every experiment in §6 of DESIGN.md / the E-tables runs
+// protocol code unmodified in virtual time, so results are bit-for-bit
+// reproducible for a fixed seed.
+//
+// Protocol code is written in ordinary blocking style (Sleep, Await, RPC
+// calls) and runs unmodified in virtual time. The simulator enforces a
+// single-runnable-token discipline: exactly one task goroutine executes
+// at any moment, and control passes between tasks only at simulation
+// primitives. Together with a seeded random source this makes every run
+// bit-for-bit reproducible.
+//
+// The scheduler owns a priority queue of events ordered by (virtual
+// time, insertion sequence). Tasks park themselves on the queue (Sleep)
+// or on futures (Await); the scheduler pops the earliest event, advances
+// the virtual clock, and hands the execution token to the woken task.
+// Resource models CPU service time (§3.4's cost asymmetries between
+// slaves and the auditor are expressed as cryptoutil.CostModel charges
+// against per-node Resources).
+//
+// Gotchas that repeatedly bite test authors:
+//
+//   - RunUntil finalizes the simulation when it returns: one run per
+//     Sim. Structure multi-phase tests as a single task chain inside one
+//     RunUntil — never call RunUntil twice on the same Sim.
+//   - The Runtime interface (clock.go) is what protocol code should
+//     depend on; only experiment drivers should hold a *Sim.
+package sim

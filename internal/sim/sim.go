@@ -1,16 +1,5 @@
-// Package sim implements a deterministic discrete-event simulator.
-//
-// Protocol code is written in ordinary blocking style (Sleep, Await, RPC
-// calls) and runs unmodified in virtual time. The simulator enforces a
-// single-runnable-token discipline: exactly one task goroutine executes at
-// any moment, and control passes between tasks only at simulation
-// primitives. Together with a seeded random source this makes every run
-// bit-for-bit reproducible.
-//
-// The scheduler owns a priority queue of events ordered by (virtual time,
-// insertion sequence). Tasks park themselves on the queue (Sleep) or on
-// futures (Await); the scheduler pops the earliest event, advances the
-// virtual clock, and hands the execution token to the woken task.
+// Scheduler core: the event heap, task token handoff, Sleep/Run/Stop.
+// See doc.go for the package overview and usage gotchas.
 package sim
 
 import (

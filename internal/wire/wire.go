@@ -1,18 +1,5 @@
-// Package wire implements the hand-rolled binary encoding used everywhere
-// a byte-exact representation matters: RPC frames, signed pledge packets,
-// version stamps, and result hashing.
-//
-// The format is deliberately simple and fully deterministic:
-//
-//	uvarint  — unsigned LEB128, at most 10 bytes
-//	varint   — zig-zag encoded uvarint
-//	bytes    — uvarint length prefix followed by raw bytes
-//	string   — same as bytes
-//	time     — varint Unix nanoseconds (UTC)
-//
-// Determinism matters because two replicas must produce the identical
-// encoding of the identical logical value: result hashes and signatures
-// are computed over these bytes.
+// Writer and Reader for the deterministic binary format. See doc.go for
+// the package overview and the format table.
 package wire
 
 import (
