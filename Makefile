@@ -1,16 +1,17 @@
 # Tier-1 verification and the perf trajectory.
 #
 #   make verify     — build, vet, full test suite under the race
-#                     detector, then the E15 batch-throughput and E16
-#                     checkpointing benchmarks emitting BENCH_e15.json /
-#                     BENCH_e16.json (the perf trajectory record), plus
+#                     detector, then the E15 batch-throughput, E16
+#                     checkpointing, and E17 crash-recovery benchmarks
+#                     emitting BENCH_e15.json / BENCH_e16.json /
+#                     BENCH_e17.json (the perf trajectory record), plus
 #                     the README package-map completeness check.
 
 GO ?= go
 
-.PHONY: verify build vet race bench-e15 bench-e16 check-readme bench
+.PHONY: verify build vet race bench-e15 bench-e16 bench-e17 check-readme bench
 
-verify: build vet race bench-e15 bench-e16 check-readme
+verify: build vet race bench-e15 bench-e16 bench-e17 check-readme
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,10 @@ bench-e15:
 bench-e16:
 	$(GO) test -run '^$$' -bench BenchmarkE16 -benchtime 1x -json . > BENCH_e16.json
 	@grep -c '"Action"' BENCH_e16.json >/dev/null && echo "wrote BENCH_e16.json"
+
+bench-e17:
+	$(GO) test -run '^$$' -bench BenchmarkE17 -benchtime 1x -json . > BENCH_e17.json
+	@grep -c '"Action"' BENCH_e17.json >/dev/null && echo "wrote BENCH_e17.json"
 
 # Every top-level internal/ package must be linked from the README's
 # package map, so the map cannot silently rot as the codebase grows.

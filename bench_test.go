@@ -58,6 +58,7 @@ func BenchmarkE13CostAblation(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkE14Recovery(b *testing.B)     { benchExperiment(b, "E14") }
 func BenchmarkE15Batch(b *testing.B)        { benchExperiment(b, "E15") }
 func BenchmarkE16Checkpoint(b *testing.B)   { benchExperiment(b, "E16") }
+func BenchmarkE17Recovery(b *testing.B)     { benchExperiment(b, "E17") }
 
 // BenchmarkBatchUpdateVerify measures the slave-side cost of one batched
 // commit: one signature verification plus per-op membership proofs.

@@ -50,6 +50,8 @@ func main() {
 		nmasters = flag.Int("nmasters", 1, "number of masters (slave stamp verification)")
 		catalog  = flag.Int("catalog", 100, "initial catalog size")
 		docs     = flag.Int("docs", 10, "initial document count")
+		datadir  = flag.String("datadir", "", "master durable state dir: WAL + checkpoint snapshot; replayed on restart (\"\" = in-memory)")
+		walsync  = flag.Duration("walsync", 0, "WAL group-commit fsync interval (0 = fsync every batch before acking)")
 	)
 	flag.Parse()
 
@@ -71,16 +73,18 @@ func main() {
 		auditorKeys := cryptoutil.DeriveKeyPair("auditor", 0)
 		dir := &dirsrv.Client{Addr: *dirAddr, Dialer: dialer}
 		m, err := core.NewMaster(core.MasterConfig{
-			Addr:        *listen,
-			Keys:        keys,
-			Params:      params,
-			ContentKey:  owner.Public,
-			Peers:       splitList(*peers),
-			AuditorAddr: *auditor,
-			AuditorPub:  auditorKeys.Public,
-			ACL:         nil, // open writes for the demo deployment
-			Directory:   dir,
-			Seed:        int64(*index),
+			Addr:         *listen,
+			Keys:         keys,
+			Params:       params,
+			ContentKey:   owner.Public,
+			Peers:        splitList(*peers),
+			AuditorAddr:  *auditor,
+			AuditorPub:   auditorKeys.Public,
+			ACL:          nil, // open writes for the demo deployment
+			Directory:    dir,
+			Seed:         int64(*index),
+			DataDir:      *datadir,
+			WALSyncEvery: *walsync,
 		}, rt, dialer, initial)
 		if err != nil {
 			log.Fatal(err)

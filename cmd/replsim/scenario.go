@@ -31,6 +31,8 @@ type scenarioFlags struct {
 	batchWait  *time.Duration
 	checkpoint *time.Duration
 	ckptRetain *int
+	dataDir    *string
+	walSync    *time.Duration
 }
 
 func registerScenarioFlags() scenarioFlags {
@@ -49,6 +51,8 @@ func registerScenarioFlags() scenarioFlags {
 		batchWait:  flag.Duration("batchwait", 0, "scenario: batch flush timeout (0 = max_latency/4)"),
 		checkpoint: flag.Duration("checkpoint", 0, "scenario: stability-checkpoint cadence (0 = off; log/archive grow forever)"),
 		ckptRetain: flag.Int("ckptretain", 0, "scenario: OpRecords always kept below the stable version (0 = default)"),
+		dataDir:    flag.String("datadir", "", "scenario: base dir for per-master durable WAL+snapshot (\"\" = in-memory)"),
+		walSync:    flag.Duration("walsync", 0, "scenario: WAL group-commit fsync interval (0 = fsync per batch)"),
 	}
 }
 
@@ -63,6 +67,8 @@ func runScenario(seed int64, f scenarioFlags) {
 	cfg.BatchTimeout = *f.batchWait
 	cfg.CheckpointEvery = *f.checkpoint
 	cfg.CheckpointMinRetain = *f.ckptRetain
+	cfg.DataDir = *f.dataDir
+	cfg.WALSyncEvery = *f.walSync
 	cfg.SlaveBehaviors = map[int]core.Behavior{}
 	for i := 0; i < *f.liars && i < *f.masters**f.slaves; i++ {
 		cfg.SlaveBehaviors[i] = core.LieWithProb{P: *f.lieProb}

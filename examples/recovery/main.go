@@ -2,7 +2,10 @@
 // "is not inherently malicious, but has been the victim of an attack"
 // is convicted and excluded, then recovered to a safe state, given a
 // verified snapshot of the current content, readmitted through the
-// master set, and put back to work.
+// master set, and put back to work. A second act crashes a durable
+// master and restarts it over its WAL + snapshot: it replays to its
+// pre-crash state and catches the writes it slept through from a peer
+// instead of being reprovisioned.
 //
 //	go run ./examples/recovery
 package main
@@ -10,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -19,12 +23,19 @@ import (
 )
 
 func main() {
+	dataDir, err := os.MkdirTemp("", "recovery-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+
 	cfg := harness.DefaultScenario()
 	cfg.Seed = 99
 	cfg.NMasters = 2
 	cfg.SlavesPerMaster = 2
 	cfg.Params.DoubleCheckP = 1.0 // deterministic demo: catch on first lie
 	cfg.Params.GreedyMinBurst = 1 << 30
+	cfg.DataDir = dataDir // masters keep a WAL + snapshot on disk
 
 	sc := harness.NewScenario(cfg)
 	client := sc.AddClient(func(cc *core.ClientConfig) { cc.PreferredMaster = 0 })
@@ -80,6 +91,30 @@ func main() {
 		}
 		v, _, _ := query.GetResult(payload)
 		fmt.Printf("post-recovery read of catalog/00777 = %q\n", v)
+		sc.S.Sleep(2 * time.Second)
+
+		// Act two: a master crashes. Its durable state (WAL + checkpoint
+		// snapshot) survives; the content keeps moving while it is down.
+		fmt.Println()
+		sc.KillMaster(1)
+		fmt.Printf("master-1 crashed at version %d\n", sc.Masters[0].Version())
+		if _, err := client.Write(store.Put{Key: "catalog/00888", Value: []byte("while-down")}); err != nil {
+			log.Fatalf("write during outage: %v", err)
+		}
+		goal := sc.Masters[0].Version()
+		fmt.Printf("content advanced to version %d during the outage\n", goal)
+
+		// Restart over the same DataDir: replay snapshot+WAL, then close
+		// the remaining gap from a peer instead of reprovisioning.
+		m1 := sc.RestartMaster(1)
+		for m1.Version() < goal {
+			sc.S.Sleep(10 * time.Millisecond)
+		}
+		mst := m1.Stats()
+		fmt.Printf("master-1 restarted: WAL records replayed %d, recovery syncs %d, caught up to version %d\n",
+			mst.WALReplayed, mst.RecoverySyncs, m1.Version())
+		fmt.Printf("state digests agree with master-0: %v\n",
+			m1.StateDigest().Equal(sc.Masters[0].StateDigest()))
 		sc.S.Sleep(2 * time.Second)
 	})
 	sc.Run(time.Minute)

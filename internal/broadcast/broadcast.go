@@ -71,6 +71,7 @@ type Member struct {
 	log           map[uint64][]byte
 	nextSeq       uint64            // sequencer: next slot to assign
 	delivered     uint64            // highest contiguously delivered seq
+	delivering    bool              // a drainer is inside tryDeliver's loop
 	truncated     uint64            // archive floor: seqs below this were dropped
 	peerDelivered map[string]uint64 // sequencer: peers' delivered marks (Hello replies)
 	stableSeq     uint64            // min delivered across live members (via Hello)
@@ -131,6 +132,32 @@ func (m *Member) Delivered() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.delivered
+}
+
+// ResumeAt tells a freshly constructed member that the hosting node has
+// already applied every message up to and including seq (recovered from
+// durable state), so delivery resumes at seq+1 and sequence assignment
+// after a takeover starts above it. Entries at or below seq are not in
+// this member's archive, so the floor is marked truncated. Call before
+// Start, or after replacing the hosting node's state wholesale during a
+// catch-up sync.
+func (m *Member) ResumeAt(seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq > m.delivered {
+		m.delivered = seq
+	}
+	if seq+1 > m.nextSeq {
+		m.nextSeq = seq + 1
+	}
+	if seq+1 > m.truncated {
+		m.truncated = seq + 1
+	}
+	for s := range m.log {
+		if s <= m.delivered {
+			delete(m.log, s)
+		}
+	}
 }
 
 // Sequencer returns the address this member currently believes is the
@@ -206,7 +233,18 @@ func (m *Member) Broadcast(msg []byte) error {
 		}
 		w := wire.NewWriter(len(msg) + 8)
 		w.Bytes_(msg)
-		_, err := m.dialer.CallTimeout(seqAddr, MethodSubmit, w.Bytes(), m.cfg.CallTimeout)
+		// Retry the submit before declaring the sequencer dead: a view
+		// change is disruptive (a takeover that itself hits message loss
+		// can reassign slots), so one dropped round trip must not force
+		// it. Note a retried submit can be sequenced twice if only the
+		// replies were lost — same at-least-once contract as before.
+		var err error
+		for try := 0; try < 3; try++ {
+			_, err = m.dialer.CallTimeout(seqAddr, MethodSubmit, w.Bytes(), m.cfg.CallTimeout)
+			if err == nil || rpc.IsRemote(err) {
+				break
+			}
+		}
 		if err == nil {
 			return nil
 		}
@@ -373,8 +411,13 @@ func (m *Member) Handle(from, method string, body []byte) ([]byte, error) {
 		return m.serveFetch(lo, hi), nil
 
 	case MethodStatus:
-		w := wire.NewWriter(8)
+		// The reply leads with the log high-water mark (all old readers
+		// parse just that and tolerate the rest) and appends the archive
+		// floor, which a restarted member uses to detect that its gap was
+		// truncated and must be closed by state sync instead of fetch.
+		w := wire.NewWriter(16)
 		w.Uvarint(m.maxKnown())
+		w.Uvarint(m.Truncated())
 		return w.Bytes(), nil
 
 	case MethodHello:
@@ -503,12 +546,25 @@ func (m *Member) serveFetch(lo, hi uint64) []byte {
 }
 
 // tryDeliver hands contiguous log entries to the Deliver callback.
+// Exactly one drainer runs the loop at a time: concurrent callers whose
+// entries are already in the log return immediately and the active
+// drainer picks their entries up, so Deliver is invoked strictly in
+// sequence order and never concurrently — racing callers could
+// otherwise invoke Deliver(n+1) before Deliver(n) returned. The flag is
+// cleared under the same lock that checks for the next entry, so an
+// entry inserted while the drainer exits is never stranded.
 func (m *Member) tryDeliver() {
+	m.mu.Lock()
+	if m.delivering {
+		m.mu.Unlock()
+		return
+	}
+	m.delivering = true
 	for {
-		m.mu.Lock()
 		next := m.delivered + 1
 		msg, ok := m.log[next]
 		if !ok {
+			m.delivering = false
 			m.mu.Unlock()
 			return
 		}
@@ -519,6 +575,7 @@ func (m *Member) tryDeliver() {
 		m.archive(next, msg)
 		m.mu.Unlock()
 		m.cfg.Deliver(next, msg)
+		m.mu.Lock()
 	}
 }
 
@@ -540,9 +597,9 @@ func (m *Member) archive(seq uint64, msg []byte) {
 // stability point — the lowest delivered mark among live (non-suspected)
 // members, learned through heartbeats — so a merely-slow member can
 // always still fetch its gap. Only a member suspected as crashed can
-// find its history truncated on return; masters are trusted and
-// crash-only here, so in this system that means operator reprovisioning
-// (a full state transfer), not a protocol recovery path.
+// find its history truncated on return; it closes the gap with an
+// application-layer state sync and rejoins via ResumeAt (a master
+// restarting from its data directory does exactly this).
 func (m *Member) TruncateBelow(floor uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -642,7 +699,16 @@ func (m *Member) heartbeatLoop() {
 					continue
 				}
 				m.mu.Lock()
-				if d > m.peerDelivered[p] {
+				if m.suspected[p] {
+					// A suspected peer that answers a Hello is back: clear
+					// the suspicion so it receives commits again, and take
+					// its delivered mark as-is — a restarted member resumes
+					// below its pre-crash mark, and the stale higher mark
+					// would otherwise let truncation race ahead of its
+					// recovery.
+					delete(m.suspected, p)
+					m.peerDelivered[p] = d
+				} else if d > m.peerDelivered[p] {
 					m.peerDelivered[p] = d
 				}
 				m.mu.Unlock()

@@ -174,6 +174,8 @@ func (a *Auditor) Handle(from, method string, body []byte) ([]byte, error) {
 		return a.bcast.Handle(from, method, body)
 	case MethodPledge:
 		return a.handlePledge(body)
+	case MethodPledgeMulti:
+		return a.handlePledgeMulti(body)
 	}
 	return nil, fmt.Errorf("core: auditor: unknown method %q", method)
 }
@@ -265,23 +267,63 @@ func (a *Auditor) handlePledge(body []byte) ([]byte, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.admitPledgeLocked(pledge)
+	return nil, nil
+}
+
+// handlePledgeMulti admits a whole wave of pledges shipped in one frame
+// (one RPC per accepted read instead of one per slave). Each pledge goes
+// through the identical admission path in frame order, so sampling draws
+// the same random sequence the unbatched RPCs would.
+func (a *Auditor) handlePledgeMulti(body []byte) ([]byte, error) {
+	r := wire.NewReader(body)
+	frames := r.BytesSlice()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("core: empty pledge wave")
+	}
+	pledges := make([]Pledge, len(frames))
+	for i, f := range frames {
+		fr := wire.NewReader(f)
+		p, err := DecodePledge(fr)
+		if err != nil {
+			return nil, err
+		}
+		if err := fr.Done(); err != nil {
+			return nil, err
+		}
+		pledges[i] = p
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, p := range pledges {
+		a.admitPledgeLocked(p)
+	}
+	return nil, nil
+}
+
+// admitPledgeLocked is the admission path shared by the single and
+// batched pledge handlers: sample, drop late arrivals, queue the rest
+// for the audit worker. Caller holds a.mu.
+func (a *Auditor) admitPledgeLocked(pledge Pledge) {
 	a.stats.PledgesReceived++
 	if a.cfg.Params.AuditSampleP < 1 && a.rng.Float64() >= a.cfg.Params.AuditSampleP {
 		a.stats.PledgesSampled++
-		return nil, nil
+		return
 	}
 	v := pledge.Stamp.Version
 	if v < a.replica.Version() {
 		// The auditor only leaves a version after max_latency has passed,
 		// at which point no client would accept this read anyway (§3.4).
 		a.stats.PledgesLate++
-		return nil, nil
+		return
 	}
 	a.pending[v] = append(a.pending[v], pledge)
 	if b := a.backlogLocked(); b > a.stats.BacklogMax {
 		a.stats.BacklogMax = b
 	}
-	return nil, nil
 }
 
 func (a *Auditor) backlogLocked() int {

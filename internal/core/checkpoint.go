@@ -272,7 +272,10 @@ func (m *Master) checkpointLoop() {
 // point is the delivered checkpoint's version capped by this master's own
 // stability (its slaves may lag the initiator's) and by the retain
 // window, so slightly-behind slaves keep the cheap record-replay path.
-func (m *Master) applyCheckpoint(r *wire.Reader) {
+// seq is the checkpoint's own delivery slot: a durable master persists
+// the captured snapshot anchored there (every batch at or below seq is
+// inside it) and truncates its write-ahead log.
+func (m *Master) applyCheckpoint(seq uint64, r *wire.Reader) {
 	ck, err := DecodeCheckpoint(r)
 	if err != nil {
 		return
@@ -338,6 +341,13 @@ func (m *Master) applyCheckpoint(r *wire.Reader) {
 		m.snap = &ckptSnapshot{version: cur, bytes: snap, stamp: stamp}
 	}
 	m.mu.Unlock()
+	// Durable master: the snapshot captures every batch delivered at or
+	// below this checkpoint's own slot, so persist it anchored there and
+	// drop the now-redundant WAL records. Delivery is serialized, so no
+	// batch can commit between the capture above and this write.
+	if m.wlog != nil {
+		m.persistState(cur, seq, snap, stamp)
+	}
 	if floor > 0 {
 		m.bcast.TruncateBelow(floor)
 	}
@@ -376,6 +386,19 @@ func (m *Master) RetainedOpBytes() int {
 		n += len(rec.OpBytes)
 	}
 	return n
+}
+
+// SnapshotLag returns how many versions the retained snapshot-first
+// snapshot trails the store (0 until a checkpoint retains one). A
+// bounded lag bounds the OpRecord suffix every snapshot-first sync
+// ships.
+func (m *Master) SnapshotLag() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snap == nil {
+		return 0
+	}
+	return m.store.Version() - m.snap.version
 }
 
 // ArchiveLen returns the retained entry count of this master's broadcast

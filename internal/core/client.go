@@ -673,6 +673,33 @@ func (c *Client) forwardPledge(p Pledge) error {
 	return err
 }
 
+// forwardPledges ships a whole wave of pledges — one per slave of a
+// K-replica read — to the auditor in a single frame, one RPC per
+// accepted read instead of one per slave. Order within the frame is
+// preserved, so the auditor admits exactly what the sequential
+// forwardPledge calls would. A wave of one uses the legacy method.
+func (c *Client) forwardPledges(ps []Pledge) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	if len(ps) == 1 {
+		return c.forwardPledge(ps[0])
+	}
+	c.mu.Lock()
+	c.stats.PledgesSent += uint64(len(ps))
+	c.mu.Unlock()
+	elems := make([][]byte, len(ps))
+	size := 16
+	for i, p := range ps {
+		elems[i] = EncodePledge(p)
+		size += len(elems[i]) + 8
+	}
+	w := wire.NewWriter(size)
+	w.BytesSlice(elems)
+	_, err := c.dlr.CallTimeout(c.cfg.AuditorAddr, MethodPledgeMulti, w.Bytes(), c.cfg.Params.ReadTimeout)
+	return err
+}
+
 // readK is the §4 multi-slave variant: the query goes to all K assigned
 // slaves; if any answers disagree the client double-checks with the
 // master unconditionally and reports every slave whose pledge does not
@@ -712,10 +739,12 @@ func (c *Client) readK(queryBytes []byte, checkProb float64) ([]byte, error) {
 				return nil, err
 			}
 		}
-		for _, r := range replies {
-			if err := c.forwardPledge(r.Pledge); err != nil {
-				return nil, err
-			}
+		pledges := make([]Pledge, len(replies))
+		for i, r := range replies {
+			pledges[i] = r.Pledge
+		}
+		if err := c.forwardPledges(pledges); err != nil {
+			return nil, err
 		}
 		c.mu.Lock()
 		c.stats.ReadsAccepted++

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -29,6 +30,9 @@ type testCluster struct {
 	acl      *ACL
 	initial  *store.Store
 	nSlavesP int // slaves per master
+	// masterCfgs remembers each master's construction so tests can
+	// restart one over its durable state.
+	masterCfgs []MasterConfig
 }
 
 type clusterOpts struct {
@@ -39,6 +43,13 @@ type clusterOpts struct {
 	latency        sim.Latency
 	batchSize      int
 	batchTimeout   time.Duration
+	// dataDir gives every master a durable WAL+snapshot under
+	// dataDir/master-N ("" = in-memory only).
+	dataDir             string
+	walSyncEvery        time.Duration
+	checkpointEvery     time.Duration
+	checkpointMinRetain int
+	checkpointMaxLag    time.Duration
 }
 
 func defaultOpts() clusterOpts {
@@ -93,24 +104,33 @@ func newTestCluster(t *testing.T, s *sim.Sim, o clusterOpts) *testCluster {
 		cert.Sign(c.owner)
 		c.dir.Publish(c.owner.Public, cert)
 
-		m, err := NewMaster(MasterConfig{
-			Addr:         masterAddrs[i],
-			Keys:         masterKeys[i],
-			Params:       o.params,
-			ContentKey:   c.owner.Public,
-			Peers:        peers,
-			AuditorAddr:  auditorAddr,
-			AuditorPub:   auditorKeys.Public,
-			ACL:          c.acl,
-			Directory:    c.bound,
-			CPU:          s.NewResource(masterAddrs[i]+"/cpu", 1),
-			Seed:         int64(1000 + i),
-			BatchSize:    o.batchSize,
-			BatchTimeout: o.batchTimeout,
-		}, s, c.net.Dialer(masterAddrs[i]), c.initial)
+		mcfg := MasterConfig{
+			Addr:                masterAddrs[i],
+			Keys:                masterKeys[i],
+			Params:              o.params,
+			ContentKey:          c.owner.Public,
+			Peers:               peers,
+			AuditorAddr:         auditorAddr,
+			AuditorPub:          auditorKeys.Public,
+			ACL:                 c.acl,
+			Directory:           c.bound,
+			CPU:                 s.NewResource(masterAddrs[i]+"/cpu", 1),
+			Seed:                int64(1000 + i),
+			BatchSize:           o.batchSize,
+			BatchTimeout:        o.batchTimeout,
+			CheckpointEvery:     o.checkpointEvery,
+			CheckpointMinRetain: o.checkpointMinRetain,
+			CheckpointMaxLag:    o.checkpointMaxLag,
+			WALSyncEvery:        o.walSyncEvery,
+		}
+		if o.dataDir != "" {
+			mcfg.DataDir = filepath.Join(o.dataDir, masterAddrs[i])
+		}
+		m, err := NewMaster(mcfg, s, c.net.Dialer(masterAddrs[i]), c.initial)
 		if err != nil {
 			t.Fatal(err)
 		}
+		c.masterCfgs = append(c.masterCfgs, mcfg)
 		c.masters = append(c.masters, m)
 		c.net.Register(masterAddrs[i], m.Handle)
 	}

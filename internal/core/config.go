@@ -27,7 +27,8 @@ const (
 	MethodRead        = "s.read"        // client -> slave: execute a query
 
 	// Auditor methods.
-	MethodPledge = "a.pledge" // client -> auditor: forward accepted pledge
+	MethodPledge      = "a.pledge"      // client -> auditor: forward accepted pledge
+	MethodPledgeMulti = "a.pledgemulti" // client -> auditor: wave of pledges, one frame
 
 	// Client methods.
 	MethodNotify = "c.notify" // master -> client: slave excluded, reassignment

@@ -42,4 +42,17 @@
 // masters truncate the op log and broadcast archive below the stable
 // version, and slaves that fell behind a checkpoint recover through
 // snapshot-first sync instead of unbounded history replay.
+//
+// Masters can additionally be made durable (durable.go): with
+// MasterConfig.DataDir set, every committed batch's op records and
+// signed stamp are appended to a write-ahead log and fsynced before the
+// client ack (or group-committed on a WALSyncEvery interval), and every
+// applied checkpoint atomically persists a signed snapshot file and
+// truncates the WAL below it. A restarting master loads the snapshot,
+// replays the WAL suffix (verifying every stamp; a torn final record —
+// a crash mid-append — is dropped, any other corruption refuses to
+// start), resumes its broadcast slot, and closes the remaining gap from
+// a peer: by ordinary record fetch when the archive still holds its
+// slots, or one snapshot-first recovery sync when checkpoint truncation
+// outran the outage. Without DataDir nothing touches the filesystem.
 package core

@@ -1,0 +1,422 @@
+package core
+
+// Durable master state (MasterConfig.DataDir): a write-ahead log of
+// committed batches plus a checkpoint snapshot file, and the recovery
+// path that replays them on start and rejoins the cluster.
+//
+// The write path appends a batch's record to the WAL after the batch is
+// applied but strictly before any client is acked (applyBatch), so an
+// acknowledged write survives a restart under the per-batch fsync
+// policy. When a stability checkpoint applies, the state snapshot it
+// captured is written atomically and the WAL — now redundant below the
+// snapshot — is truncated (persistState). On start, openDurable loads
+// snapshot + WAL suffix, verifying this master's own stamps, and anchors
+// broadcast delivery at the recovered point; recoverGap then closes any
+// remaining gap, through normal broadcast fetch when peers still archive
+// the missing slots, or through a wholesale proto-3 state sync when
+// checkpoints truncated them.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/broadcast"
+	"repro/internal/cryptoutil"
+	"repro/internal/merkle"
+	"repro/internal/store"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// snapFileMagic heads the checkpoint snapshot file; WAL records carry no
+// per-record magic (the file itself is the namespace).
+const snapFileMagic = "msnap.v1"
+
+func (m *Master) snapFilePath() string { return filepath.Join(m.cfg.DataDir, "snapshot") }
+func (m *Master) walFilePath() string  { return filepath.Join(m.cfg.DataDir, "wal") }
+
+// encodeWALRecord frames one committed batch for the WAL: the broadcast
+// slot that carried it (the recovery anchor), the first version it
+// produced, the applied op bytes in order, and the signed stamp — enough
+// to rebuild the OpRecords with their membership proofs on replay.
+func encodeWALRecord(seq, first uint64, ops [][]byte, stamp VersionStamp) []byte {
+	size := 64
+	for _, o := range ops {
+		size += len(o) + 8
+	}
+	w := wire.NewWriter(size)
+	w.Uvarint(seq)
+	w.Uvarint(first)
+	w.BytesSlice(ops)
+	stamp.Encode(w)
+	return w.Bytes()
+}
+
+// openDurable loads the master's data directory: the checkpoint snapshot
+// file (if present) replaces the initial store, then the WAL records
+// committed after it are replayed on top. Called from NewMaster before
+// any RPC can arrive, so no locking is needed. Delivery resumes at the
+// recovered anchor; Start's recoverGap closes whatever remains.
+func (m *Master) openDurable() error {
+	if err := os.MkdirAll(m.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	if data, err := os.ReadFile(m.snapFilePath()); err == nil {
+		if err := m.loadSnapshotFile(data); err != nil {
+			return fmt.Errorf("core: %s: %w", m.snapFilePath(), err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	l, recs, err := wal.Open(m.walFilePath())
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := m.replayWALRecord(rec); err != nil {
+			l.Close()
+			return fmt.Errorf("core: %s: %w", m.walFilePath(), err)
+		}
+	}
+	m.wlog = l
+	if m.lastMark.seq > 0 {
+		m.bcast.ResumeAt(m.lastMark.seq)
+	}
+	return nil
+}
+
+// loadSnapshotFile restores the store from the checkpoint snapshot file,
+// verifying this master's own stamp over the snapshot bytes (the file is
+// written by this master, so its own signature is the integrity check).
+func (m *Master) loadSnapshotFile(data []byte) error {
+	r := wire.NewReader(data)
+	magic := r.String()
+	if r.Err() != nil || magic != snapFileMagic {
+		return fmt.Errorf("bad snapshot file header")
+	}
+	version := r.Uvarint()
+	anchor := r.Uvarint()
+	snapBytes := append([]byte(nil), r.Bytes()...)
+	stamp, err := DecodeStamp(r)
+	if err != nil {
+		return err
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	if err := stamp.Verify([]cryptoutil.PublicKey{m.cfg.Keys.Public}); err != nil {
+		return err
+	}
+	if stamp.Version != version || !stamp.AuthenticatesOp(snapBytes) {
+		return fmt.Errorf("snapshot stamp does not authenticate contents")
+	}
+	st, err := store.DecodeSnapshot(snapBytes)
+	if err != nil {
+		return err
+	}
+	if st.Version() != version {
+		return fmt.Errorf("snapshot version %d does not match header %d", st.Version(), version)
+	}
+	m.store = st
+	m.baseVersion = version
+	m.snap = &ckptSnapshot{version: version, bytes: snapBytes, stamp: stamp}
+	m.lastMark = versionMark{version: version, seq: anchor}
+	return nil
+}
+
+// replayWALRecord applies one WAL record during openDurable. Records the
+// snapshot already covers are skipped; a record that neither continues
+// the store nor is covered marks a damaged directory and fails loud (a
+// silently skipped batch would fork this replica from the cluster).
+func (m *Master) replayWALRecord(payload []byte) error {
+	r := wire.NewReader(payload)
+	seq := r.Uvarint()
+	first := r.Uvarint()
+	ops := r.BytesSlice()
+	stamp, err := DecodeStamp(r)
+	if err != nil {
+		return err
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("wal record with no ops")
+	}
+	count := uint64(len(ops))
+	last := first + count - 1
+	cur := m.store.Version()
+	if last <= cur {
+		return nil // covered by the snapshot (crash between snapshot write and WAL truncation)
+	}
+	if first != cur+1 {
+		return fmt.Errorf("wal record starts at version %d, store at %d", first, cur)
+	}
+	if err := stamp.Verify([]cryptoutil.PublicKey{m.cfg.Keys.Public}); err != nil {
+		return err
+	}
+	var proofs []merkle.Proof
+	if count == 1 {
+		if stamp.Version != first || !stamp.AuthenticatesOp(ops[0]) {
+			return fmt.Errorf("wal stamp does not authenticate record at version %d", first)
+		}
+		proofs = []merkle.Proof{{}}
+	} else {
+		tree := BatchTree(first, ops)
+		if stamp.Kind != stampKindBatch || stamp.Version != last || !stamp.OpDigest.Equal(tree.Root()) {
+			return fmt.Errorf("wal batch stamp does not authenticate records %d..%d", first, last)
+		}
+		proofs = make([]merkle.Proof, count)
+		for i := range ops {
+			p, err := tree.Prove(i)
+			if err != nil {
+				return err
+			}
+			proofs[i] = p
+		}
+	}
+	for i, ob := range ops {
+		op, err := store.DecodeOp(ob)
+		if err != nil {
+			return err
+		}
+		if err := m.store.ApplyAt(first+uint64(i), op); err != nil {
+			return err
+		}
+		m.log = append(m.log, OpRecord{
+			Version: first + uint64(i), OpBytes: ob,
+			Stamp: stamp, First: first, Count: count, Proof: proofs[i],
+		})
+	}
+	if m.cfg.CheckpointEvery > 0 {
+		m.marks = append(m.marks, versionMark{version: last, digest: m.store.StateDigest(), seq: seq})
+	}
+	m.lastMark = versionMark{version: last, seq: seq}
+	m.stats.WALReplayed++
+	return nil
+}
+
+// persistState atomically replaces the snapshot file with the state at
+// (version, anchor) and truncates the WAL, whose records are now
+// redundant. If the snapshot write fails the WAL is left alone: the
+// previous snapshot plus the intact WAL still reproduce the state.
+func (m *Master) persistState(version, anchor uint64, snapBytes []byte, stamp VersionStamp) {
+	w := wire.NewWriter(len(snapBytes) + 256)
+	w.String_(snapFileMagic)
+	w.Uvarint(version)
+	w.Uvarint(anchor)
+	w.Bytes_(snapBytes)
+	stamp.Encode(w)
+	m.walMu.Lock()
+	defer m.walMu.Unlock()
+	if err := wal.WriteFileAtomic(m.snapFilePath(), w.Bytes()); err != nil {
+		return
+	}
+	m.wlog.Rewrite(nil)
+}
+
+// refreshSnapshot signs a freshly captured state snapshot and installs
+// it as the retained snapshot-first snapshot. Spawned from applyBatch
+// when the retained snapshot trails the store by 2x the retain window,
+// so the OpRecord suffix a v3 sync ships stays bounded by write volume,
+// not by the time-based checkpoint cadence.
+func (m *Master) refreshSnapshot(version uint64, snapBytes []byte) {
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.HashCost(len(snapBytes)))
+	stamp := SignStampWithOp(m.cfg.Keys, version, m.rt.Now(), snapBytes)
+	m.mu.Lock()
+	if m.snap != nil && version > m.snap.version && version >= m.baseVersion {
+		m.snap = &ckptSnapshot{version: version, bytes: snapBytes, stamp: stamp}
+		m.stats.SnapshotRefreshes++
+	}
+	m.snapRefresh = false
+	m.mu.Unlock()
+}
+
+// walSyncLoop is the interval fsync policy (WALSyncEvery > 0): appended
+// records reach the OS immediately but stable storage only once per
+// interval, trading a bounded window of acked-but-lost writes on a
+// crash for one fsync per interval instead of per batch.
+func (m *Master) walSyncLoop() {
+	for {
+		if m.rt.Sleep(m.cfg.WALSyncEvery) != nil {
+			return
+		}
+		m.mu.Lock()
+		stopped := m.stopped
+		m.mu.Unlock()
+		if stopped {
+			return
+		}
+		m.walMu.Lock()
+		m.wlog.Sync()
+		m.walMu.Unlock()
+	}
+}
+
+// recoverGap closes the gap between replayed durable state and the rest
+// of the cluster, before the master's loops start. If a peer's broadcast
+// archive still holds every slot above our anchor, normal fetch will
+// close the gap and nothing needs doing. If stability checkpoints
+// truncated those slots no fetch can ever succeed, so the master pulls a
+// proto-3 state sync instead and resumes above the synced anchor.
+func (m *Master) recoverGap() {
+	delivered := m.bcast.Delivered()
+	for attempt := 0; attempt < 3; attempt++ {
+		for _, p := range m.cfg.Peers {
+			if p == m.cfg.Addr || p == m.cfg.AuditorAddr {
+				continue
+			}
+			body, err := m.dlr.CallTimeout(p, broadcast.MethodStatus, nil, m.cfg.Params.KeepAliveEvery)
+			if err != nil {
+				continue
+			}
+			r := wire.NewReader(body)
+			maxSeq := r.Uvarint()
+			floor := r.Uvarint()
+			if r.Err() != nil {
+				continue
+			}
+			if maxSeq <= delivered {
+				continue // peer no further along than we are
+			}
+			if floor <= delivered+1 {
+				return // archive intact: broadcast fetch closes the gap
+			}
+			if err := m.catchUpFrom(p); err == nil {
+				return
+			}
+		}
+	}
+}
+
+// catchUpFrom pulls a proto-3 sync from a peer master and adopts the
+// result wholesale: records (or snapshot + records) verified against the
+// directory's master keys exactly as a slave sync is, then persisted,
+// with broadcast delivery resumed at the anchor the peer captured with
+// the reply. Ordered messages in the skipped range that were not write
+// batches — slave lists, checkpoints, membership changes — are not
+// replayed; all are periodic or idempotent and re-converge through
+// their own channels.
+func (m *Master) catchUpFrom(peer string) error {
+	masters, err := m.cfg.Directory.VerifiedMasters()
+	if err != nil {
+		return err
+	}
+	pubs := make([]cryptoutil.PublicKey, 0, len(masters))
+	for _, c := range masters {
+		pubs = append(pubs, c.Subject)
+	}
+	m.mu.Lock()
+	from := m.store.Version() + 1
+	m.mu.Unlock()
+
+	w := wire.NewWriter(16)
+	w.Uvarint(from)
+	w.Byte(3) // proto 3: v3 reply plus trailing recovery anchor
+	body, err := m.dlr.CallTimeout(peer, MethodSync, w.Bytes(), m.cfg.Params.ReadTimeout)
+	if err != nil {
+		return err
+	}
+	r := wire.NewReader(body)
+	var snapStore *store.Store
+	var snapBytes []byte
+	var snapStamp VersionStamp
+	if r.Byte() == 1 {
+		snapBytes = append([]byte(nil), r.Bytes()...)
+		snapStamp, err = DecodeStamp(r)
+		if err != nil {
+			return err
+		}
+		if err := snapStamp.Verify(pubs); err != nil {
+			return err
+		}
+		if !snapStamp.AuthenticatesOp(snapBytes) {
+			return ErrBadStamp
+		}
+		snapStore, err = store.DecodeSnapshot(snapBytes)
+		if err != nil {
+			return err
+		}
+		if snapStore.Version() != snapStamp.Version {
+			return fmt.Errorf("core: recovery snapshot version %d does not match stamp %d",
+				snapStore.Version(), snapStamp.Version)
+		}
+	}
+	n := r.Uvarint()
+	recs := make([]OpRecord, 0, n)
+	var verifiedStamp string
+	for i := uint64(0); i < n; i++ {
+		rec, err := DecodeOpRecord(r)
+		if err != nil {
+			return err
+		}
+		// Records of one batch share a stamp; verify each distinct
+		// signature once, plus the per-record binding.
+		key := string(rec.Stamp.signedBytes()) + string(rec.Stamp.Sig)
+		if key != verifiedStamp {
+			if err := rec.Stamp.Verify(pubs); err != nil {
+				return err
+			}
+			verifiedStamp = key
+		}
+		if err := rec.VerifyBinding(); err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	closing, err := DecodeStamp(r)
+	if err != nil {
+		return err
+	}
+	if err := closing.Verify(pubs); err != nil {
+		return err
+	}
+	anchor := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+
+	m.mu.Lock()
+	if snapStore != nil && snapStore.Version() > m.store.Version() {
+		m.store = snapStore
+		m.baseVersion = snapStore.Version()
+		m.log = nil
+		m.marks = nil
+		m.snap = &ckptSnapshot{version: snapStore.Version(), bytes: snapBytes, stamp: snapStamp}
+	}
+	for _, rec := range recs {
+		if rec.Version != m.store.Version()+1 {
+			continue // below the snapshot version
+		}
+		op, err := store.DecodeOp(rec.OpBytes)
+		if err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		if err := m.store.ApplyAt(rec.Version, op); err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		m.log = append(m.log, rec)
+	}
+	cur := m.store.Version()
+	if m.cfg.CheckpointEvery > 0 && cur > m.baseVersion {
+		m.marks = append(m.marks, versionMark{version: cur, digest: m.store.StateDigest(), seq: anchor})
+	}
+	if anchor > m.lastMark.seq {
+		m.lastMark = versionMark{version: cur, seq: anchor}
+	}
+	anchor = m.lastMark.seq
+	persistBytes := m.store.EncodeSnapshot()
+	m.stats.RecoverySyncs++
+	m.mu.Unlock()
+
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
+	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.HashCost(len(persistBytes)))
+	stamp := SignStampWithOp(m.cfg.Keys, cur, m.rt.Now(), persistBytes)
+	m.persistState(cur, anchor, persistBytes, stamp)
+	m.bcast.ResumeAt(anchor)
+	return nil
+}

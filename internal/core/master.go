@@ -14,6 +14,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -53,6 +54,10 @@ type MasterStats struct {
 	CheckpointsProposed uint64 // stability checkpoints this master broadcast
 	CheckpointsApplied  uint64 // delivered checkpoints that truncated history
 	OpsTruncated        uint64 // OpRecords dropped from the log after stability
+
+	WALReplayed       uint64 // batches replayed from the WAL at start
+	RecoverySyncs     uint64 // wholesale catch-up syncs performed at start
+	SnapshotRefreshes uint64 // retained-snapshot refreshes outside checkpoints
 }
 
 // MasterConfig configures a master server.
@@ -104,6 +109,21 @@ type MasterConfig struct {
 	// stops gating stability; a slave silent longer recovers via
 	// snapshot-first sync (0 = 4x KeepAliveEvery).
 	CheckpointMaxLag time.Duration
+	// DataDir, when non-empty, makes the master durable: every committed
+	// batch is appended to a write-ahead log under this directory before
+	// clients are acked, and each applied checkpoint atomically writes a
+	// snapshot file and truncates the log below the stable point. On
+	// start the directory is loaded — snapshot, then WAL suffix — so a
+	// restarted master resumes from its pre-crash state and rejoins the
+	// broadcast instead of being reprovisioned. Empty (the default)
+	// keeps the master pure in-memory.
+	DataDir string
+	// WALSyncEvery is the WAL fsync policy: 0 (the default) fsyncs every
+	// batch before clients are acked, so an acked write survives a
+	// crash; > 0 fsyncs on that interval instead — the usual
+	// group-commit trade of a bounded window of acked-but-lost writes
+	// for fewer fsyncs. Ignored without DataDir.
+	WALSyncEvery time.Duration
 }
 
 type slaveEntry struct {
@@ -138,11 +158,14 @@ type Master struct {
 	marks       []versionMark       // batch boundaries: version -> (digest, broadcast seq)
 	checkpoint  Checkpoint          // most recent stability checkpoint recorded
 	snap        *ckptSnapshot       // retained snapshot for snapshot-first sync
+	snapRefresh bool                // a snapshot refresh is signing off-lock
+	lastMark    versionMark         // version + broadcast seq of the newest applied batch
 	lastCommit  time.Time
 	nextWriteAt time.Time
 	batchQueue  []batchWaiter // admitted writes awaiting the next flush
 	batchGen    uint64        // flush generation (dedups timer flushes)
-	batchTimer  bool          // a timeout flush is scheduled
+	timerArmed  bool          // a timeout flush is scheduled for the open batch
+	timerGen    uint64        // generation the armed timer belongs to
 	slaves      []slaveEntry
 	clients     map[string]*clientEntry // key: client pub
 	peerSlaves  map[string][]slaveEntry // other masters' slave sets
@@ -153,6 +176,13 @@ type Master struct {
 	pendingCh   map[string]chan uint64  // write id -> commit channel (real)
 	stats       MasterStats
 	stopped     bool
+
+	// Durable state (DataDir set; see durable.go). walMu serializes the
+	// log file operations — the delivery drainer appends while the
+	// interval-fsync loop syncs and checkpoint application rewrites.
+	walMu   sync.Mutex
+	wlog    *wal.Log     // write-ahead log (nil without DataDir)
+	walHook func(uint64) // test hook: after WAL append+sync, before acks
 
 	greedy *greedyTracker
 }
@@ -203,11 +233,30 @@ func NewMaster(cfg MasterConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.
 		return nil, err
 	}
 	m.bcast = bm
+	if cfg.DataDir != "" {
+		if err := m.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
-// Start launches the broadcast member and the master's periodic loops.
+// Start launches the broadcast member and the master's periodic loops. A
+// durable master first closes any gap between its replayed state and the
+// cluster (recoverGap), so a restart whose history was truncated rejoins
+// through snapshot-first sync instead of stalling on unfetchable slots.
 func (m *Master) Start() {
+	if m.wlog != nil {
+		m.rt.Spawn(func() {
+			m.recoverGap()
+			m.startLoops()
+		})
+		return
+	}
+	m.startLoops()
+}
+
+func (m *Master) startLoops() {
 	m.bcast.Start()
 	m.rt.Spawn(m.keepAliveLoop)
 	m.rt.Spawn(m.slaveListLoop)
@@ -215,14 +264,24 @@ func (m *Master) Start() {
 	if m.cfg.CheckpointEvery > 0 {
 		m.rt.Spawn(m.checkpointLoop)
 	}
+	if m.wlog != nil && m.cfg.WALSyncEvery > 0 {
+		m.rt.Spawn(m.walSyncLoop)
+	}
 }
 
-// Stop halts the master's loops.
+// Stop halts the master's loops and syncs the write-ahead log. A master
+// killed without Stop loses at most the torn tail of its WAL, which
+// recovery truncates away.
 func (m *Master) Stop() {
 	m.mu.Lock()
 	m.stopped = true
 	m.mu.Unlock()
 	m.bcast.Stop()
+	m.walMu.Lock()
+	if m.wlog != nil {
+		m.wlog.Sync()
+	}
+	m.walMu.Unlock()
 }
 
 // Stats returns a snapshot of the master's counters.
@@ -453,13 +512,22 @@ func (m *Master) handleWriteMulti(body []byte) ([]byte, error) {
 // the batch is full. A short batch is flushed by a timer after
 // BatchTimeout; with BatchSize <= 1 every write flushes immediately and
 // the path degenerates to the unbatched protocol.
+//
+// The timer is armed exactly once per batch, when the queue goes from
+// empty to non-empty, and both the armed flag and the firing check are
+// keyed by that batch's generation. Keying by a shared boolean instead
+// let a stale timer task from an earlier generation clear the flag and
+// re-arm mid-batch, so under synchronized writers back-to-back waves
+// were cut into sub-size timer flushes instead of coalescing into full
+// batches (visible as E15's BatchFlushTimer column).
 func (m *Master) enqueueWrite(bw batchWaiter) error {
 	m.mu.Lock()
 	m.batchQueue = append(m.batchQueue, bw)
 	full := len(m.batchQueue) >= m.cfg.BatchSize
-	startTimer := !full && !m.batchTimer
-	if startTimer {
-		m.batchTimer = true
+	armTimer := !full && len(m.batchQueue) == 1
+	if armTimer {
+		m.timerArmed = true
+		m.timerGen = m.batchGen
 	}
 	gen := m.batchGen
 	m.mu.Unlock()
@@ -467,14 +535,17 @@ func (m *Master) enqueueWrite(bw batchWaiter) error {
 	if full {
 		return m.flushBatch(gen, false)
 	}
-	if startTimer {
+	if armTimer {
 		m.rt.Spawn(func() {
 			if m.rt.Sleep(m.cfg.BatchTimeout) != nil {
 				return
 			}
 			m.mu.Lock()
-			m.batchTimer = false
-			fire := m.batchGen == gen && len(m.batchQueue) > 0
+			fire := m.timerArmed && m.timerGen == gen &&
+				m.batchGen == gen && len(m.batchQueue) > 0
+			if m.timerArmed && m.timerGen == gen {
+				m.timerArmed = false
+			}
 			m.mu.Unlock()
 			if fire {
 				m.flushBatch(gen, true)
@@ -496,7 +567,9 @@ func (m *Master) flushBatch(gen uint64, byTimer bool) error {
 	batch := m.batchQueue
 	m.batchQueue = nil
 	m.batchGen++
-	m.batchTimer = false
+	if m.timerArmed && m.timerGen == gen {
+		m.timerArmed = false // this batch's timer lost the race; disarm it
+	}
 	if byTimer {
 		m.stats.BatchFlushTimer++
 	} else {
@@ -604,10 +677,17 @@ func (m *Master) awaitCommitUntil(id string, h commitHandle, deadline time.Time)
 		if wait < 0 {
 			wait = 0
 		}
+		// One timer per in-flight write: time.After would keep each
+		// timer (and its channel) live until the full deadline passes
+		// even after the commit arrives, which under load pins tens of
+		// megabytes of expired-but-unreached timers. Stop releases it
+		// as soon as the commit wins the select.
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
 		select {
 		case v := <-h.ch:
 			return v, nil
-		case <-time.After(wait):
+		case <-timer.C:
 			// Withdraw from the accumulator first: a write removed while
 			// still queued is guaranteed never to commit, so the client's
 			// timeout error is truthful and a retry cannot double-apply.
@@ -662,7 +742,7 @@ func (m *Master) deliver(seq uint64, msg []byte) {
 		}
 		m.applyBatch(seq, batch)
 	case bcCheckpoint:
-		m.applyCheckpoint(r)
+		m.applyCheckpoint(seq, r)
 	case bcSlaveList:
 		masterAddr := r.String()
 		n := r.Uvarint()
@@ -782,11 +862,38 @@ func (m *Master) applyBatch(seq uint64, batch []batchWaiter) {
 	if m.cfg.CheckpointEvery > 0 {
 		m.marks = append(m.marks, versionMark{version: last, digest: m.store.StateDigest(), seq: seq})
 	}
+	// The newest applied batch is the recovery anchor: a restart that
+	// replays durable state up to `last` resumes broadcast delivery at
+	// seq+1, and catch-up syncs report it so a recovering peer can
+	// anchor likewise. Maintained even without checkpointing.
+	m.lastMark = versionMark{version: last, seq: seq}
+	// Build the WAL record while the lock pins (seq, first, ops, stamp)
+	// consistent; the append itself happens below, off-lock but still
+	// inside the serialized delivery drainer.
+	var walRec []byte
+	if m.wlog != nil {
+		walRec = encodeWALRecord(seq, first, ops, stamp)
+	}
+	// Snapshot-refresh trigger (bounds the snapshot-first sync suffix):
+	// the retained snapshot otherwise only advances when a checkpoint
+	// applies, so under a sustained write rate the OpRecord suffix a v3
+	// sync ships grows with rate x CheckpointEvery. Re-encode the state
+	// here once the snapshot trails by 2x the retain window; signing
+	// happens off-lock in a spawned task.
+	var refreshBytes []byte
+	if m.snap != nil && !m.snapRefresh && last-m.snap.version >= 2*uint64(m.cfg.CheckpointMinRetain) {
+		m.snapRefresh = true
+		refreshBytes = m.store.EncodeSnapshot()
+	}
 	m.lastCommit = now
 	m.stats.WritesApplied += count
 	m.stats.BatchesApplied++
 	slaves := append([]slaveEntry(nil), m.slaves...)
 	m.mu.Unlock()
+
+	if refreshBytes != nil {
+		m.rt.Spawn(func() { m.refreshSnapshot(last, refreshBytes) })
+	}
 	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign) // once per batch
 	var opBytesTotal int
 	for _, o := range ops {
@@ -795,6 +902,23 @@ func (m *Master) applyBatch(seq uint64, batch []batchWaiter) {
 	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.BatchOverhead(len(ops), opBytesTotal))
 	for range applied {
 		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.QueryBase) // apply cost
+	}
+
+	// Durability before acknowledgement: the batch's record reaches the
+	// WAL (and, under the per-batch fsync policy, stable storage) before
+	// any waiter is released, so an acked write is never lost to a
+	// restart. A write error degrades durability, not consistency — the
+	// batch is already committed cluster-wide — so it must not fail the
+	// ack.
+	if walRec != nil {
+		m.walMu.Lock()
+		if err := m.wlog.Append(walRec); err == nil && m.cfg.WALSyncEvery == 0 {
+			m.wlog.Sync()
+		}
+		m.walMu.Unlock()
+		if m.walHook != nil {
+			m.walHook(last)
+		}
 	}
 
 	for i, a := range applied {
@@ -1111,9 +1235,14 @@ func (m *Master) handleSync(body []byte) ([]byte, error) {
 	m.mu.Lock()
 	m.stats.SyncsServed++
 	cur := m.store.Version()
+	// The recovery anchor travels with proto >= 3 replies: the broadcast
+	// seq of the newest applied batch, captured in the same critical
+	// section as cur so a recovering master that applies every record of
+	// this reply can resume delivery exactly at anchor+1.
+	anchor := m.lastMark.seq
 	if from <= m.baseVersion {
 		if proto >= 2 {
-			return m.serveSnapshotSyncLocked() // unlocks m.mu
+			return m.serveSnapshotSyncLocked(proto, anchor) // unlocks m.mu
 		}
 		// History below the retained base is not replayable and this
 		// caller cannot accept a snapshot; checkpoint-aware slaves send
@@ -1166,14 +1295,19 @@ func (m *Master) handleSync(body []byte) ([]byte, error) {
 	}
 	stamp := SignStamp(m.cfg.Keys, cur, m.rt.Now())
 	stamp.Encode(w)
+	if proto >= 3 {
+		w.Uvarint(anchor)
+	}
 	return w.Bytes(), nil
 }
 
 // serveSnapshotSyncLocked builds the v3 snapshot-first sync reply for a
-// slave whose request predates the retained log: the signed checkpoint
+// caller whose request predates the retained log: the signed checkpoint
 // snapshot, the OpRecord suffix committed after it, and the closing
-// stamp. Called with m.mu held; it unlocks before signing.
-func (m *Master) serveSnapshotSyncLocked() ([]byte, error) {
+// stamp. proto >= 3 appends the recovery anchor (already captured under
+// the lock by the caller). Called with m.mu held; it unlocks before
+// signing.
+func (m *Master) serveSnapshotSyncLocked(proto byte, anchor uint64) ([]byte, error) {
 	m.stats.SnapshotSyncs++
 	cur := m.store.Version()
 	snap := m.snap
@@ -1218,6 +1352,9 @@ func (m *Master) serveSnapshotSyncLocked() ([]byte, error) {
 	chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.SendReply)
 	stamp := SignStamp(m.cfg.Keys, cur, m.rt.Now())
 	stamp.Encode(w)
+	if proto >= 3 {
+		w.Uvarint(anchor)
+	}
 	return w.Bytes(), nil
 }
 

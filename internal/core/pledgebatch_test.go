@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestPledgeMultiEquivalentToSingles feeds the same pledge wave to two
+// identically-seeded auditors — one pledge-per-RPC versus the whole wave
+// in a single MethodPledgeMulti frame — and requires identical admission
+// outcomes: same receive/sample/late counters and the same backlog. The
+// shared frame order drives the sampling RNG through the same sequence,
+// so batching changes only the transport, never what gets audited.
+func TestPledgeMultiEquivalentToSingles(t *testing.T) {
+	mut := func(c *AuditorConfig) { c.Params.AuditSampleP = 0.5 }
+	single := newAuditorRig(t, mut)
+	multi := newAuditorRig(t, mut)
+
+	const n = 16
+	pledges := make([]Pledge, n)
+	for i := range pledges {
+		pledges[i] = single.pledgeFor(query.Get{Key: "k"}, false)
+	}
+
+	for _, p := range pledges {
+		if err := single.sendPledge(p); err != nil {
+			t.Fatalf("single pledge: %v", err)
+		}
+	}
+	frames := make([][]byte, n)
+	for i, p := range pledges {
+		frames[i] = EncodePledge(p)
+	}
+	w := wire.NewWriter(256)
+	w.BytesSlice(frames)
+	if _, err := multi.auditor.Handle("client", MethodPledgeMulti, w.Bytes()); err != nil {
+		t.Fatalf("pledge wave: %v", err)
+	}
+
+	ss, ms := single.auditor.Stats(), multi.auditor.Stats()
+	if ss.PledgesReceived != n || ms.PledgesReceived != n {
+		t.Fatalf("received %d/%d pledges, want %d each", ss.PledgesReceived, ms.PledgesReceived, n)
+	}
+	if ss.PledgesSampled != ms.PledgesSampled || ss.PledgesLate != ms.PledgesLate ||
+		ss.BacklogMax != ms.BacklogMax {
+		t.Fatalf("admission diverged: single %+v vs multi %+v", ss, ms)
+	}
+	if ss.PledgesSampled == 0 || ss.PledgesSampled == n {
+		t.Fatalf("sampling did not split the wave (%d/%d); equivalence check is vacuous",
+			ss.PledgesSampled, n)
+	}
+	if single.auditor.Backlog() != multi.auditor.Backlog() {
+		t.Fatalf("backlog diverged: %d vs %d", single.auditor.Backlog(), multi.auditor.Backlog())
+	}
+}
+
+// TestPledgeMultiRejectsMalformedWave: a wave with any undecodable frame
+// is rejected atomically — nothing from it is admitted.
+func TestPledgeMultiRejectsMalformedWave(t *testing.T) {
+	rig := newAuditorRig(t, nil)
+	good := EncodePledge(rig.pledgeFor(query.Get{Key: "k"}, false))
+	w := wire.NewWriter(256)
+	w.BytesSlice([][]byte{good, []byte{0xde, 0xad}})
+	if _, err := rig.auditor.Handle("client", MethodPledgeMulti, w.Bytes()); err == nil {
+		t.Fatal("malformed wave accepted")
+	}
+	if got := rig.auditor.Stats().PledgesReceived; got != 0 {
+		t.Fatalf("malformed wave partially admitted %d pledges", got)
+	}
+
+	w = wire.NewWriter(16)
+	w.BytesSlice(nil)
+	if _, err := rig.auditor.Handle("client", MethodPledgeMulti, w.Bytes()); err == nil {
+		t.Fatal("empty wave accepted")
+	}
+}
+
+// TestClusterKReadForwardsWholeWave: an agreeing k-slave read forwards
+// its whole pledge wave (via the batched frame) and the auditor audits
+// every pledge in it cleanly.
+func TestClusterKReadForwardsWholeWave(t *testing.T) {
+	s := sim.New(62)
+	o := defaultOpts()
+	o.nMasters = 1
+	o.slavesPerM = 3
+	c := newTestCluster(t, s, o)
+	cl := c.addClient(t, 0, func(cc *ClientConfig) {
+		cc.KSlaves = 2
+		cc.PreferredMaster = 0
+	})
+	s.Go(func() {
+		s.Sleep(c.warmup())
+		if err := cl.Setup(); err != nil {
+			t.Errorf("setup: %v", err)
+			return
+		}
+		if _, err := cl.Read(mustQuery(t, "catalog/001")); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	s.RunUntil(sim.Epoch.Add(time.Minute))
+
+	if got := cl.Stats().PledgesSent; got != 2 {
+		t.Fatalf("client forwarded %d pledges, want the whole wave of 2", got)
+	}
+	as := c.auditor.Stats()
+	if as.PledgesReceived != 2 {
+		t.Fatalf("auditor received %d pledges, want 2", as.PledgesReceived)
+	}
+	if as.PledgesAudited != 2 || as.Mismatches != 0 {
+		t.Fatalf("audit of the batched wave: %+v", as)
+	}
+}

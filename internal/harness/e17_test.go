@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE17ShapeCrashRecovery asserts the PR's acceptance criteria on the
+// E17 experiment: a master killed mid-load with a DataDir comes back by
+// replaying its snapshot+WAL and rejoins without reprovisioning. With
+// the broadcast archive intact the gap closes through ordinary fetch
+// (no recovery sync); when the outage spans checkpoint truncation one
+// snapshot-first sync closes it. Both regimes must converge to the
+// survivor's exact state digest.
+func TestE17ShapeCrashRecovery(t *testing.T) {
+	dur := 500 * time.Millisecond // scale-8 equivalent of the benchmark run
+
+	replay := runE17(7, dur, 200*time.Millisecond, 0)
+	if !replay.digestEqual {
+		t.Fatalf("wal-replay: restarted master did not converge to the survivor's digest")
+	}
+	if replay.walReplayed == 0 {
+		t.Fatalf("wal-replay: restart replayed no WAL records")
+	}
+	if replay.recoverySyncs != 0 {
+		t.Fatalf("wal-replay: expected no recovery sync with the archive intact, got %d",
+			replay.recoverySyncs)
+	}
+	if replay.committed == 0 || replay.finalVersion == 0 {
+		t.Fatalf("wal-replay: no load ran (committed=%d version=%d)",
+			replay.committed, replay.finalVersion)
+	}
+
+	snapsync := runE17(7, dur, 1500*time.Millisecond, 300*time.Millisecond)
+	if !snapsync.digestEqual {
+		t.Fatalf("snapshot-sync: restarted master did not converge to the survivor's digest")
+	}
+	if snapsync.recoverySyncs < 1 {
+		t.Fatalf("snapshot-sync: outage spanned truncation but no snapshot-first sync ran")
+	}
+	if snapsync.walReplayed == 0 {
+		t.Fatalf("snapshot-sync: restart replayed no WAL records")
+	}
+}

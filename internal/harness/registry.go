@@ -40,6 +40,7 @@ func Registry() []Experiment {
 		{"E14", "a recovered slave can be readmitted and serve cleanly (§3.5)", one(E14Recovery)},
 		{"E15", "batching amortizes the master's per-write signature (§3.4, §6)", one(E15BatchThroughput)},
 		{"E16", "stability checkpointing bounds master memory; stale slaves snapshot-sync (§3.1, §6)", one(E16Checkpointing)},
+		{"E17", "a durable master replays its WAL on restart and rejoins without reprovisioning (§3.1, §3.5)", one(E17CrashRecovery)},
 	}
 }
 

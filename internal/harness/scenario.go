@@ -4,6 +4,7 @@ package harness
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -41,6 +42,13 @@ type ScenarioConfig struct {
 	// CheckpointMaxLag is how long a silent slave gates stability before
 	// it is left to snapshot-first sync (0 = master default).
 	CheckpointMaxLag time.Duration
+	// DataDir, when set, gives every master a durable WAL + snapshot
+	// under DataDir/master-N, so KillMaster/RestartMaster exercise
+	// crash-restart recovery ("" = pure in-memory, the default).
+	DataDir string
+	// WALSyncEvery is the masters' group-commit fsync interval
+	// (0 = fsync each batch before acking).
+	WALSyncEvery time.Duration
 	// MasterCPUs / SlaveCPUs / AuditorCPUs are worker counts (default 1).
 	MasterCPUs  int
 	SlaveCPUs   int
@@ -80,7 +88,17 @@ type Scenario struct {
 	SlaveCPU   []*sim.Resource
 	AuditorCPU *sim.Resource
 
+	// masterCfgs / masterSlaves remember each master's construction so
+	// RestartMaster can rebuild it after a kill.
+	masterCfgs   []core.MasterConfig
+	masterSlaves [][]slaveRef
+
 	clientN int
+}
+
+type slaveRef struct {
+	addr string
+	pub  cryptoutil.PublicKey
 }
 
 // NewScenario builds and starts the deployment (masters, slaves, auditor).
@@ -136,7 +154,7 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 		sc.Dir.Publish(sc.Owner.Public, cert)
 		cpu := s.NewResource(masterAddrs[i]+"/cpu", cfg.MasterCPUs)
 		sc.MasterCPU = append(sc.MasterCPU, cpu)
-		m, err := core.NewMaster(core.MasterConfig{
+		mcfg := core.MasterConfig{
 			Addr:                masterAddrs[i],
 			Keys:                masterKeys[i],
 			Params:              cfg.Params,
@@ -153,10 +171,17 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 			CheckpointEvery:     cfg.CheckpointEvery,
 			CheckpointMinRetain: cfg.CheckpointMinRetain,
 			CheckpointMaxLag:    cfg.CheckpointMaxLag,
-		}, s, sc.Net.Dialer(masterAddrs[i]), sc.Initial)
+			WALSyncEvery:        cfg.WALSyncEvery,
+		}
+		if cfg.DataDir != "" {
+			mcfg.DataDir = filepath.Join(cfg.DataDir, masterAddrs[i])
+		}
+		m, err := core.NewMaster(mcfg, s, sc.Net.Dialer(masterAddrs[i]), sc.Initial)
 		if err != nil {
 			panic(err) // configuration bug in the experiment, not runtime
 		}
+		sc.masterCfgs = append(sc.masterCfgs, mcfg)
+		sc.masterSlaves = append(sc.masterSlaves, nil)
 		sc.Masters = append(sc.Masters, m)
 		sc.Net.Register(masterAddrs[i], m.Handle)
 	}
@@ -185,6 +210,7 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 			sc.Slaves = append(sc.Slaves, sl)
 			sc.Net.Register(addr, sl.Handle)
 			sc.Masters[i].AddSlave(addr, keys.Public)
+			sc.masterSlaves[i] = append(sc.masterSlaves[i], slaveRef{addr, keys.Public})
 			slaveIdx++
 		}
 	}
@@ -248,6 +274,33 @@ func (sc *Scenario) Warmup() time.Duration {
 // Run drives the simulation for the given virtual duration.
 func (sc *Scenario) Run(d time.Duration) {
 	sc.S.RunUntil(sim.Epoch.Add(d))
+}
+
+// KillMaster stops master i and takes its address off the network, as a
+// crash would. Its durable state (if ScenarioConfig.DataDir is set)
+// stays on disk for RestartMaster.
+func (sc *Scenario) KillMaster(i int) {
+	sc.Masters[i].Stop()
+	sc.Net.SetDown(sc.masterCfgs[i].Addr, true)
+}
+
+// RestartMaster brings a killed master back with the same identity and
+// configuration: a fresh process over the same DataDir. With durable
+// state it replays snapshot+WAL and syncs the remaining gap from a peer
+// instead of reprovisioning. The new instance replaces Masters[i].
+func (sc *Scenario) RestartMaster(i int) *core.Master {
+	m, err := core.NewMaster(sc.masterCfgs[i], sc.S, sc.Net.Dialer(sc.masterCfgs[i].Addr), sc.Initial)
+	if err != nil {
+		panic(err)
+	}
+	for _, ref := range sc.masterSlaves[i] {
+		m.AddSlave(ref.addr, ref.pub)
+	}
+	sc.Masters[i] = m
+	sc.Net.Register(sc.masterCfgs[i].Addr, m.Handle)
+	sc.Net.SetDown(sc.masterCfgs[i].Addr, false)
+	m.Start()
+	return m
 }
 
 // TotalSlaveStats sums the counters over all slaves.

@@ -1,0 +1,22 @@
+// Package wal is the append-only write-ahead log under a master's data
+// directory: length- and CRC32C-framed records with a crash-tolerance
+// contract sized for the batch-commit path.
+//
+// The contract, in both directions:
+//
+//   - A torn FINAL record — a frame cut short by a crash mid-append, or
+//     a complete final frame whose checksum fails — is expected damage:
+//     Open truncates it away and returns the intact prefix. The master
+//     only acks a batch after its record is appended (and, per-batch
+//     policy, fsynced), so a torn tail can only hold a batch no client
+//     was ever acked for.
+//
+//   - A damaged record with valid data AFTER it is real corruption:
+//     silently skipping it would replay later ops against the wrong
+//     state. Open fails loud with ErrCorrupt and the operator restores
+//     from a peer (snapshot-first sync) instead.
+//
+// Rewrite and WriteFileAtomic replace file contents via temp-file +
+// fsync + rename, so checkpoint truncation leaves either the old or the
+// new log — never a spliced one.
+package wal

@@ -1,0 +1,214 @@
+// Append-only write-ahead log with CRC-framed records. See doc.go for
+// the package overview and the crash-tolerance contract.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Frame layout: [uint32 length][uint32 crc32c(payload)][payload], both
+// fixed-width big-endian. A record is readable iff its frame is complete
+// and its checksum matches.
+const frameHeader = 8
+
+// MaxRecordLen caps a single record's payload, mirroring the wire
+// package's byte-field limit: a length prefix beyond it marks a corrupt
+// file, not a huge record.
+const MaxRecordLen = 64 << 20
+
+// ErrCorrupt marks a record that is provably damaged (bad checksum or
+// insane length) with valid data after it — mid-file corruption that
+// replay must not silently skip. A damaged *final* record is instead
+// treated as a torn write and truncated away.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open write-ahead log file. Appends go to the end; Rewrite
+// atomically replaces the whole file (used when a checkpoint makes the
+// logged suffix redundant). Log is not internally locked — callers
+// serialize access.
+type Log struct {
+	path string
+	f    *os.File
+}
+
+// Open opens (creating if absent) the log at path and replays every
+// complete record, returned in append order. An incomplete final frame,
+// or a final frame with a bad checksum, is a torn last write: it is
+// truncated off and the log remains usable. A damaged record followed by
+// further data fails loud with ErrCorrupt.
+func Open(path string) (*Log, [][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	var recs [][]byte
+	off := 0
+	for off < len(data) {
+		rem := len(data) - off
+		if rem < frameHeader {
+			break // torn: partial frame header
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		sum := binary.BigEndian.Uint32(data[off+4:])
+		if n > MaxRecordLen {
+			return nil, nil, fmt.Errorf("%w: length %d at offset %d", ErrCorrupt, n, off)
+		}
+		if rem < frameHeader+n {
+			break // torn: partial payload
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			if off+frameHeader+n == len(data) {
+				break // damaged final record: torn write
+			}
+			return nil, nil, fmt.Errorf("%w: bad checksum at offset %d", ErrCorrupt, off)
+		}
+		recs = append(recs, append([]byte(nil), payload...))
+		off += frameHeader + n
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if off < len(data) {
+		// Drop the torn tail so the next append starts a clean frame.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{path: path, f: f}, recs, nil
+}
+
+// Append writes one record to the end of the log. The frame goes out in
+// a single write so a crash tears at most the final record. Durability
+// requires a subsequent Sync.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecordLen {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeader:], payload)
+	_, err := l.f.Write(buf)
+	return err
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Rewrite atomically replaces the log's contents with the given records:
+// they are written to a temporary file, fsynced, and renamed over the
+// log, so a crash leaves either the old or the new contents, never a
+// mix. Pass nil to truncate the log to empty.
+func (l *Log) Rewrite(payloads [][]byte) error {
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, p := range payloads {
+		if len(p) > MaxRecordLen {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("wal: record of %d bytes exceeds limit", len(p))
+		}
+		buf := make([]byte, frameHeader+len(p))
+		binary.BigEndian.PutUint32(buf, uint32(len(p)))
+		binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(p, castagnoli))
+		copy(buf[frameHeader:], p)
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return err
+	}
+	old := l.f
+	l.f = nf
+	old.Close()
+	syncDir(l.path)
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// WriteFileAtomic writes data to path via a temporary file + fsync +
+// rename, the same crash contract as Rewrite. Used for the checkpoint
+// snapshot file that pairs with a log.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(path)
+	return nil
+}
+
+// syncDir fsyncs the directory containing path so a rename survives a
+// crash; best-effort (some platforms refuse directory fsync).
+func syncDir(path string) {
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

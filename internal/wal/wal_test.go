@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openOrDie(t *testing.T, path string) (*Log, [][]byte) {
+	t.Helper()
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, recs := openOrDie(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := [][]byte{[]byte("one"), []byte("two"), {}, bytes.Repeat([]byte{0xAB}, 5000)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, recs = openOrDie(t, path)
+	defer l.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestTornFinalRecordTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openOrDie(t, path)
+	l.Append([]byte("keep-me"))
+	l.Append([]byte("torn-away"))
+	l.Close()
+
+	// Tear the last record at several cut points: mid-payload, mid-header,
+	// and just one byte short.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := frameHeader + len("keep-me")
+	for _, cut := range []int{firstEnd + 3, firstEnd + frameHeader + 2, len(data) - 1} {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs := openOrDie(t, path)
+		if len(recs) != 1 || string(recs[0]) != "keep-me" {
+			t.Fatalf("cut=%d: replayed %q, want just keep-me", cut, recs)
+		}
+		// The log must be append-ready after truncation.
+		if err := l.Append([]byte("after-tear")); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		_, recs = openOrDie(t, path)
+		if len(recs) != 2 || string(recs[1]) != "after-tear" {
+			t.Fatalf("cut=%d: post-tear append lost: %q", cut, recs)
+		}
+		// Restore the torn file for the next cut point.
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCorruptFinalRecordTreatedAsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openOrDie(t, path)
+	l.Append([]byte("keep-me"))
+	l.Append([]byte("damaged"))
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // flip a payload byte of the final record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := openOrDie(t, path)
+	defer l.Close()
+	if len(recs) != 1 || string(recs[0]) != "keep-me" {
+		t.Fatalf("replayed %q, want just keep-me", recs)
+	}
+}
+
+func TestCorruptMiddleRecordFailsLoud(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openOrDie(t, path)
+	l.Append([]byte("first"))
+	l.Append([]byte("second"))
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader] ^= 0xFF // corrupt the FIRST record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on mid-file corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInsaneLengthFailsLoud(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openOrDie(t, path)
+	l.Append([]byte("first"))
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full frame header whose length field is beyond any real record.
+	data[0], data[1], data[2], data[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on insane length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openOrDie(t, path)
+	l.Append([]byte("old-1"))
+	l.Append([]byte("old-2"))
+	if err := l.Rewrite([][]byte{[]byte("new-only")}); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after a rewrite extend the new contents.
+	if err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs := openOrDie(t, path)
+	if len(recs) != 2 || string(recs[0]) != "new-only" || string(recs[1]) != "tail" {
+		t.Fatalf("after rewrite: %q", recs)
+	}
+
+	// Rewrite to empty truncates.
+	l, _ = openOrDie(t, path)
+	if err := l.Rewrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs = openOrDie(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("after empty rewrite: %q", recs)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("read back %q err=%v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}
