@@ -1,17 +1,22 @@
 # Tier-1 verification and the perf trajectory.
 #
 #   make verify     — build, vet, full test suite under the race
-#                     detector, then the E15 batch-throughput, E16
-#                     checkpointing, and E17 crash-recovery benchmarks
-#                     emitting BENCH_e15.json / BENCH_e16.json /
-#                     BENCH_e17.json (the perf trajectory record), plus
-#                     the README package-map completeness check.
+#                     detector (covering the pooled wire-buffer and
+#                     merkle-scratch paths), then the E15
+#                     batch-throughput, E16 checkpointing, E17
+#                     crash-recovery, and E18 hot-path benchmarks
+#                     emitting BENCH_e15.json … BENCH_e18.json (the
+#                     perf trajectory record), a short fuzz smoke over
+#                     the wire/merkle decoders, plus the README
+#                     package-map completeness check.
+#   make profile    — run the E18 hot-path experiment under the CPU and
+#                     heap profilers; inspect with `go tool pprof`.
 
 GO ?= go
 
-.PHONY: verify build vet race bench-e15 bench-e16 bench-e17 check-readme bench
+.PHONY: verify build vet race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme bench profile
 
-verify: build vet race bench-e15 bench-e16 bench-e17 check-readme
+verify: build vet race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme
 
 build:
 	$(GO) build ./...
@@ -34,6 +39,17 @@ bench-e17:
 	$(GO) test -run '^$$' -bench BenchmarkE17 -benchtime 1x -json . > BENCH_e17.json
 	@grep -c '"Action"' BENCH_e17.json >/dev/null && echo "wrote BENCH_e17.json"
 
+bench-e18:
+	$(GO) test -run '^$$' -bench BenchmarkE18 -benchtime 1x -json . > BENCH_e18.json
+	@grep -c '"Action"' BENCH_e18.json >/dev/null && echo "wrote BENCH_e18.json"
+
+# Short native-fuzz runs over the two untrusted-input decoders. The
+# checked-in corpora under testdata/fuzz/ replay in plain `go test`;
+# this target additionally mutates for a few seconds per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReaderFrame -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeProof -fuzztime 10s ./internal/merkle/
+
 # Every top-level internal/ package must be linked from the README's
 # package map, so the map cannot silently rot as the codebase grows.
 check-readme:
@@ -46,3 +62,7 @@ check-readme:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+profile:
+	$(GO) run ./cmd/replsim -exp E18 -scale 4 -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; inspect with: $(GO) tool pprof cpu.prof"

@@ -54,6 +54,7 @@ func main() {
 		walsync  = flag.Duration("walsync", 0, "WAL group-commit fsync interval (0 = fsync every batch before acking)")
 	)
 	flag.Parse()
+	stopProfiles := startProfiles()
 
 	owner := cryptoutil.DeriveKeyPair("owner", 0)
 	initial := workload.BuildContent(*catalog, *docs)
@@ -152,6 +153,7 @@ func main() {
 	<-sig
 	log.Printf("shutting down")
 	srv.Close()
+	stopProfiles()
 }
 
 func splitList(s string) []string {

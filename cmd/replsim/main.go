@@ -33,6 +33,8 @@ func main() {
 	)
 	scFlags := registerScenarioFlags()
 	flag.Parse()
+	stopProfiles := startProfiles()
+	defer stopProfiles()
 
 	if *scenario {
 		runScenario(*seed, scFlags)
@@ -66,6 +68,7 @@ func main() {
 		e, err := harness.Find(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			stopProfiles() // os.Exit skips the deferred call
 			os.Exit(1)
 		}
 		fmt.Printf("== %s: %s\n", e.ID, e.Claim)

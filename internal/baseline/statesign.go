@@ -153,6 +153,7 @@ func (s *SSStorage) Handle(from, method string, body []byte) ([]byte, error) {
 	w.String_(entry.Key)
 	w.Bytes_(entry.Value)
 	w.Uvarint(uint64(proof.Index))
+	w.Byte(proof.LeafTag)
 	w.Uvarint(uint64(len(proof.Steps)))
 	for _, st := range proof.Steps {
 		w.Bytes_(st.Sibling[:])
@@ -314,8 +315,9 @@ func (c *SSClient) verifiedGet(key string) ([]byte, error) {
 	gotKey := r.String()
 	value := r.Bytes()
 	idx := int(r.Uvarint())
+	tag := r.Byte()
 	nSteps := r.Uvarint()
-	proof := merkle.Proof{Index: idx}
+	proof := merkle.Proof{Index: idx, LeafTag: tag}
 	for i := uint64(0); i < nSteps; i++ {
 		var st merkle.ProofStep
 		b := r.Bytes()

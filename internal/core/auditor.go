@@ -216,7 +216,7 @@ func (a *Auditor) deliver(seq uint64, msg []byte) {
 		if err != nil {
 			return
 		}
-		if _, err := store.DecodeOp(wr.OpBytes); err != nil {
+		if err := store.ValidateOp(wr.OpBytes); err != nil {
 			return // masters skip undecodable ops without a version
 		}
 		opsBytes = [][]byte{wr.OpBytes}
@@ -228,7 +228,7 @@ func (a *Auditor) deliver(seq uint64, msg []byte) {
 		for _, bw := range batch {
 			// Mirror the masters' deterministic skip of undecodable ops
 			// so the auditor's version numbering stays aligned.
-			if _, err := store.DecodeOp(bw.wr.OpBytes); err != nil {
+			if err := store.ValidateOp(bw.wr.OpBytes); err != nil {
 				continue
 			}
 			opsBytes = append(opsBytes, bw.wr.OpBytes)
@@ -467,7 +467,8 @@ func (a *Auditor) maybeAdvance() bool {
 	a.replica.ApplyAt(next, op)
 	delete(a.writes, next)
 	// Results change with the version: drop the query cache (§3.4 cache
-	// is per-version query optimization).
-	a.cache = make(map[string]cryptoutil.Digest)
+	// is per-version query optimization). clear keeps the map's storage,
+	// so steady-state version advancement stops allocating.
+	clear(a.cache)
 	return true
 }

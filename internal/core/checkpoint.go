@@ -47,15 +47,13 @@ type Checkpoint struct {
 	Sig       []byte
 }
 
-func (c *Checkpoint) signedBytes() []byte {
-	w := wire.NewWriter(128)
+func (c *Checkpoint) appendSignedBytes(w *wire.Writer) {
 	w.String_("ckpt.v1")
 	w.Uvarint(c.Version)
 	w.Bytes_(c.Digest[:])
 	w.String_(c.Initiator)
 	w.Bytes_(c.MasterPub)
 	w.Time(c.At)
-	return w.Bytes()
 }
 
 // SignCheckpoint builds and signs a checkpoint record.
@@ -64,7 +62,10 @@ func SignCheckpoint(master *cryptoutil.KeyPair, initiator string, version uint64
 		Version: version, Digest: digest,
 		Initiator: initiator, MasterPub: master.Public, At: at,
 	}
-	c.Sig = master.Sign(c.signedBytes())
+	w := wire.GetWriter()
+	c.appendSignedBytes(w)
+	c.Sig = master.Sign(w.Bytes())
+	wire.PutWriter(w)
 	return c
 }
 
@@ -72,7 +73,11 @@ func SignCheckpoint(master *cryptoutil.KeyPair, initiator string, version uint64
 func (c *Checkpoint) Verify(trustedMasters []cryptoutil.PublicKey) error {
 	for _, pub := range trustedMasters {
 		if bytes.Equal(pub, c.MasterPub) {
-			if err := cryptoutil.Verify(c.MasterPub, c.signedBytes(), c.Sig); err != nil {
+			w := wire.GetWriter()
+			c.appendSignedBytes(w)
+			err := cryptoutil.Verify(c.MasterPub, w.Bytes(), c.Sig)
+			wire.PutWriter(w)
+			if err != nil {
 				return fmt.Errorf("%w: %v", ErrBadStamp, err)
 			}
 			return nil

@@ -36,7 +36,12 @@ type ClientStats struct {
 	Resetups        uint64 // full setup redone (master crash)
 	WritesOK        uint64
 	WritesFailed    uint64
-	KMismatch       uint64 // k-slave variant: answers disagreed (§4)
+	KMismatch uint64 // k-slave variant: answers disagreed (§4)
+	// StampCacheHits/Misses count verified-stamp cache consultations:
+	// between content updates every read reply carries the same master
+	// stamp, so hits replace full signature verifications.
+	StampCacheHits   uint64
+	StampCacheMisses uint64
 }
 
 // ClientConfig configures a client.
@@ -84,6 +89,11 @@ type Client struct {
 	masterPub  cryptoutil.PublicKey   // our master (slave cert check)
 	slaves     []slaveAssignment
 	stats      ClientStats
+
+	// stamps caches verified master stamps: between content updates every
+	// read reply carries the same stamp, so repeat verifications are a
+	// cache hit instead of a signature check.
+	stamps *stampCache
 }
 
 // NewClient creates a client; call Setup before reads or writes.
@@ -92,10 +102,11 @@ func NewClient(cfg ClientConfig, rt sim.Runtime, dlr rpc.Dialer) *Client {
 		cfg.KSlaves = 1
 	}
 	return &Client{
-		cfg: cfg,
-		rt:  rt,
-		dlr: dlr,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		rt:     rt,
+		dlr:    dlr,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		stamps: newStampCache(0),
 	}
 }
 
@@ -103,7 +114,9 @@ func NewClient(cfg ClientConfig, rt sim.Runtime, dlr rpc.Dialer) *Client {
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	st.StampCacheHits, st.StampCacheMisses = c.stamps.stats()
+	return st
 }
 
 // Addr returns the client's address (where it receives notifications).
@@ -269,13 +282,12 @@ func (c *Client) Handle(from, method string, body []byte) ([]byte, error) {
 // the new content version.
 func (c *Client) Write(op store.Op) (uint64, error) {
 	wr := SignWrite(c.cfg.Keys, op)
-	w := wire.NewWriter(128)
-	wr.Encode(w)
+	frame := wire.EncodeFrame(wr.Encode)
 	for attempt := 0; attempt < 2; attempt++ {
 		c.mu.Lock()
 		masterAddr := c.masterAddr
 		c.mu.Unlock()
-		body, err := c.dlr.Call(masterAddr, MethodWrite, w.Bytes())
+		body, err := c.dlr.Call(masterAddr, MethodWrite, frame)
 		if err == nil {
 			r := wire.NewReader(body)
 			v := r.Uvarint()
@@ -321,18 +333,15 @@ func (c *Client) WriteMulti(ops []store.Op) ([]uint64, error) {
 	frames := make([][]byte, len(ops))
 	for i, op := range ops {
 		wr := SignWrite(c.cfg.Keys, op)
-		w := wire.NewWriter(len(wr.OpBytes) + 160)
-		wr.Encode(w)
-		frames[i] = w.Bytes()
+		frames[i] = wire.EncodeFrame(wr.Encode)
 	}
-	req := wire.NewWriter(64)
-	req.BytesSlice(frames)
+	reqFrame := wire.EncodeFrame(func(w *wire.Writer) { w.BytesSlice(frames) })
 
 	for attempt := 0; attempt < 2; attempt++ {
 		c.mu.Lock()
 		masterAddr := c.masterAddr
 		c.mu.Unlock()
-		body, err := c.dlr.Call(masterAddr, MethodWriteMulti, req.Bytes())
+		body, err := c.dlr.Call(masterAddr, MethodWriteMulti, reqFrame)
 		if err == nil {
 			r := wire.NewReader(body)
 			n := r.Uvarint()
@@ -554,7 +563,7 @@ func (c *Client) verifyReply(sl slaveAssignment, queryBytes []byte, reply ReadRe
 	c.mu.Lock()
 	masterPubs := append([]cryptoutil.PublicKey(nil), c.masterPubs...)
 	c.mu.Unlock()
-	if err := reply.Pledge.Stamp.Verify(masterPubs); err != nil {
+	if _, err := c.stamps.verify(&reply.Pledge.Stamp, masterPubs); err != nil {
 		c.mu.Lock()
 		c.stats.BadPledges++
 		c.mu.Unlock()

@@ -41,16 +41,12 @@ func (m *Master) walFilePath() string  { return filepath.Join(m.cfg.DataDir, "wa
 // produced, the applied op bytes in order, and the signed stamp — enough
 // to rebuild the OpRecords with their membership proofs on replay.
 func encodeWALRecord(seq, first uint64, ops [][]byte, stamp VersionStamp) []byte {
-	size := 64
-	for _, o := range ops {
-		size += len(o) + 8
-	}
-	w := wire.NewWriter(size)
-	w.Uvarint(seq)
-	w.Uvarint(first)
-	w.BytesSlice(ops)
-	stamp.Encode(w)
-	return w.Bytes()
+	return wire.EncodeFrame(func(w *wire.Writer) {
+		w.Uvarint(seq)
+		w.Uvarint(first)
+		w.BytesSlice(ops)
+		stamp.Encode(w)
+	})
 }
 
 // openDurable loads the master's data directory: the checkpoint snapshot
@@ -346,20 +342,16 @@ func (m *Master) catchUpFrom(peer string) error {
 	}
 	n := r.Uvarint()
 	recs := make([]OpRecord, 0, n)
-	var verifiedStamp string
 	for i := uint64(0); i < n; i++ {
 		rec, err := DecodeOpRecord(r)
 		if err != nil {
 			return err
 		}
-		// Records of one batch share a stamp; verify each distinct
-		// signature once, plus the per-record binding.
-		key := string(rec.Stamp.signedBytes()) + string(rec.Stamp.Sig)
-		if key != verifiedStamp {
-			if err := rec.Stamp.Verify(pubs); err != nil {
-				return err
-			}
-			verifiedStamp = key
+		// Records of one batch share a stamp; the verified-stamp cache
+		// checks each distinct signature once, plus the per-record
+		// binding.
+		if _, err := m.stamps.verify(&rec.Stamp, pubs); err != nil {
+			return err
 		}
 		if err := rec.VerifyBinding(); err != nil {
 			return err
@@ -370,7 +362,7 @@ func (m *Master) catchUpFrom(peer string) error {
 	if err != nil {
 		return err
 	}
-	if err := closing.Verify(pubs); err != nil {
+	if _, err := m.stamps.verify(&closing, pubs); err != nil {
 		return err
 	}
 	anchor := r.Uvarint()

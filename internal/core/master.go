@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -96,6 +97,14 @@ type MasterConfig struct {
 	// company before a short batch is flushed anyway (0 = MaxLatency/4).
 	// Irrelevant when BatchSize <= 1.
 	BatchTimeout time.Duration
+	// BatchAdaptive makes the flush timeout track the observed write
+	// arrival rate instead of always waiting the full BatchTimeout: the
+	// timer waits about four typical inter-arrival gaps (an EWMA), so a
+	// pause in the stream flushes the partial batch promptly, clamped to
+	// [BatchTimeout/16, BatchTimeout]. Fast arrival streams still
+	// coalesce into full batches, while the straggler tail of a burst
+	// stops paying the full static timeout.
+	BatchAdaptive bool
 	// CheckpointEvery is the stability-checkpoint cadence: how often the
 	// master computes the stable version over its slaves' acks and
 	// proposes truncating history below it. 0 disables checkpointing
@@ -166,6 +175,8 @@ type Master struct {
 	batchGen    uint64        // flush generation (dedups timer flushes)
 	timerArmed  bool          // a timeout flush is scheduled for the open batch
 	timerGen    uint64        // generation the armed timer belongs to
+	arrivalEWMA time.Duration // smoothed write inter-arrival gap (adaptive flush)
+	lastArrival time.Time     // previous write's arrival (adaptive flush)
 	slaves      []slaveEntry
 	clients     map[string]*clientEntry // key: client pub
 	peerSlaves  map[string][]slaveEntry // other masters' slave sets
@@ -185,6 +196,15 @@ type Master struct {
 	walHook func(uint64) // test hook: after WAL append+sync, before acks
 
 	greedy *greedyTracker
+
+	stamps *stampCache // verified-stamp cache (catch-up record streams)
+
+	// Batch-commit scratch, reused across applyBatch calls. Delivery is
+	// serialized (one broadcast drainer), and replay at startup runs
+	// before any delivery, so no extra locking is needed beyond m.mu,
+	// which applyBatch already holds while building the tree.
+	batchTree   merkle.Tree
+	leafScratch []merkle.Entry
 }
 
 // NewMaster creates a master over an initial content replica (cloned).
@@ -220,6 +240,7 @@ func NewMaster(cfg MasterConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.
 		pending:     make(map[string]*sim.Promise),
 		pendingCh:   make(map[string]chan uint64),
 		greedy:      newGreedyTracker(cfg.Params),
+		stamps:      newStampCache(0),
 	}
 	bm, err := broadcast.New(broadcast.Config{
 		Self:           cfg.Addr,
@@ -389,10 +410,19 @@ func (m *Master) admitWrite(wr *WriteRequest) error {
 	if m.cfg.ACL != nil && !m.cfg.ACL.Permits(wr.ClientPub) {
 		return ErrDenied
 	}
-	if _, err := store.DecodeOp(wr.OpBytes); err != nil {
+	if err := store.ValidateOp(wr.OpBytes); err != nil {
 		return fmt.Errorf("%w: %v", ErrDenied, err)
 	}
 	return nil
+}
+
+// writeID formats the per-master unique id of an admitted write
+// ("addr/seq") without going through fmt.
+func (m *Master) writeID(seq uint64) string {
+	buf := make([]byte, 0, len(m.cfg.Addr)+21)
+	buf = append(buf, m.cfg.Addr...)
+	buf = append(buf, '/')
+	return string(strconv.AppendUint(buf, seq, 10))
 }
 
 func (m *Master) handleWrite(body []byte) ([]byte, error) {
@@ -410,7 +440,7 @@ func (m *Master) handleWrite(body []byte) ([]byte, error) {
 
 	m.mu.Lock()
 	m.stats.WritesAdmitted++
-	id := fmt.Sprintf("%s/%d", m.cfg.Addr, m.stats.WritesAdmitted)
+	id := m.writeID(m.stats.WritesAdmitted)
 	m.mu.Unlock()
 
 	// Register for our own delivery before the batch can possibly flush.
@@ -428,9 +458,7 @@ func (m *Master) handleWrite(body []byte) ([]byte, error) {
 		// observed at delivery); committed versions are always >= 1.
 		return nil, fmt.Errorf("core: write %s was not committed", id)
 	}
-	out := wire.NewWriter(16)
-	out.Uvarint(version)
-	return out.Bytes(), nil
+	return wire.EncodeFrame(func(w *wire.Writer) { w.Uvarint(version) }), nil
 }
 
 // handleWriteMulti admits a whole wave of writes from one RPC frame: the
@@ -469,7 +497,7 @@ func (m *Master) handleWriteMulti(body []byte) ([]byte, error) {
 	m.mu.Lock()
 	for i := range wrs {
 		m.stats.WritesAdmitted++
-		ids[i] = fmt.Sprintf("%s/%d", m.cfg.Addr, m.stats.WritesAdmitted)
+		ids[i] = m.writeID(m.stats.WritesAdmitted)
 	}
 	m.mu.Unlock()
 
@@ -500,12 +528,12 @@ func (m *Master) handleWriteMulti(body []byte) ([]byte, error) {
 		}
 		versions[i] = v
 	}
-	w := wire.NewWriter(8 * (len(versions) + 1))
-	w.Uvarint(uint64(len(versions)))
-	for _, v := range versions {
-		w.Uvarint(v)
-	}
-	return w.Bytes(), nil
+	return wire.EncodeFrame(func(w *wire.Writer) {
+		w.Uvarint(uint64(len(versions)))
+		for _, v := range versions {
+			w.Uvarint(v)
+		}
+	}), nil
 }
 
 // enqueueWrite adds an admitted write to the accumulator and flushes if
@@ -522,12 +550,41 @@ func (m *Master) handleWriteMulti(body []byte) ([]byte, error) {
 // batches (visible as E15's BatchFlushTimer column).
 func (m *Master) enqueueWrite(bw batchWaiter) error {
 	m.mu.Lock()
+	// Adaptive flush bookkeeping: smooth the inter-arrival gap so the
+	// timeout below can estimate how long the open batch needs to fill.
+	// Gaps are capped at BatchTimeout — an idle stretch between bursts
+	// says nothing about the rate inside a burst.
+	if m.cfg.BatchAdaptive {
+		now := m.rt.Now()
+		if !m.lastArrival.IsZero() {
+			gap := now.Sub(m.lastArrival)
+			if gap > m.cfg.BatchTimeout {
+				gap = m.cfg.BatchTimeout
+			}
+			// Same-instant arrivals (a WriteMulti wave) are real rate
+			// evidence, not "no data": floor the sample so the EWMA
+			// reflects them instead of staying at the unset sentinel.
+			if gap <= 0 {
+				gap = time.Microsecond
+			}
+			if m.arrivalEWMA == 0 {
+				m.arrivalEWMA = gap
+			} else {
+				m.arrivalEWMA = (3*m.arrivalEWMA + gap) / 4
+			}
+		}
+		m.lastArrival = now
+	}
 	m.batchQueue = append(m.batchQueue, bw)
 	full := len(m.batchQueue) >= m.cfg.BatchSize
 	armTimer := !full && len(m.batchQueue) == 1
+	timeout := m.cfg.BatchTimeout
 	if armTimer {
 		m.timerArmed = true
 		m.timerGen = m.batchGen
+		if m.cfg.BatchAdaptive {
+			timeout = adaptiveFlushTimeout(m.arrivalEWMA, m.cfg.BatchTimeout)
+		}
 	}
 	gen := m.batchGen
 	m.mu.Unlock()
@@ -537,7 +594,7 @@ func (m *Master) enqueueWrite(bw batchWaiter) error {
 	}
 	if armTimer {
 		m.rt.Spawn(func() {
-			if m.rt.Sleep(m.cfg.BatchTimeout) != nil {
+			if m.rt.Sleep(timeout) != nil {
 				return
 			}
 			m.mu.Lock()
@@ -553,6 +610,29 @@ func (m *Master) enqueueWrite(bw batchWaiter) error {
 		})
 	}
 	return nil
+}
+
+// adaptiveFlushTimeout decides how long the open batch's timer waits
+// for company: four typical inter-arrival gaps (EWMA-smoothed). If no
+// write lands within that window the stream has paused and holding the
+// partial batch only adds latency — at the observed rate the batch was
+// going to fill or flush by then anyway. The wait is clamped to
+// [BatchTimeout/16, BatchTimeout]: the floor keeps a rate
+// mis-estimate from spinning the flush timer, the cap preserves the
+// static bound. A zero EWMA means no gap has been observed yet; the
+// static timeout applies.
+func adaptiveFlushTimeout(ewma, batchTimeout time.Duration) time.Duration {
+	if ewma <= 0 {
+		return batchTimeout
+	}
+	timeout := 4 * ewma
+	if timeout > batchTimeout {
+		timeout = batchTimeout
+	}
+	if min := batchTimeout / 16; timeout < min {
+		timeout = min
+	}
+	return timeout
 }
 
 // flushBatch takes the accumulated batch (if gen still names it), paces
@@ -596,17 +676,25 @@ func (m *Master) flushBatch(gen uint64, byTimer bool) error {
 		}
 	}
 
-	elems := make([][]byte, len(batch))
-	for i, bw := range batch {
-		ew := wire.NewWriter(len(bw.wr.OpBytes) + 128)
-		ew.String_(bw.id)
-		bw.wr.Encode(ew)
-		elems[i] = ew.Bytes()
+	// Build the broadcast frame through two pooled writers: one scratch
+	// per element, one for the frame itself. Byte-identical to encoding
+	// each element separately and writing them with BytesSlice, without
+	// the per-element allocations. The broadcast retains the message (it
+	// archives frames for catch-up), so the frame is detached.
+	out := wire.GetWriter()
+	out.Byte(bcBatch)
+	out.Uvarint(uint64(len(batch)))
+	elem := wire.GetWriter()
+	for _, bw := range batch {
+		elem.Reset()
+		elem.String_(bw.id)
+		bw.wr.Encode(elem)
+		out.Bytes_(elem.Bytes())
 	}
-	w := wire.NewWriter(64)
-	w.Byte(bcBatch)
-	w.BytesSlice(elems)
-	if err := m.bcast.Broadcast(w.Bytes()); err != nil {
+	wire.PutWriter(elem)
+	msg := out.Detach()
+	wire.PutWriter(out)
+	if err := m.bcast.Broadcast(msg); err != nil {
 		m.failBatch(batch)
 		return err
 	}
@@ -771,7 +859,7 @@ func (m *Master) deliver(seq uint64, msg []byte) {
 // decodeBatchMessage parses a bcBatch broadcast body (after the kind
 // byte).
 func decodeBatchMessage(r *wire.Reader) ([]batchWaiter, error) {
-	elems := r.BytesSlice()
+	elems := r.BytesSliceView()
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
@@ -834,11 +922,19 @@ func (m *Master) applyBatch(seq uint64, batch []batchWaiter) {
 		stamp = SignStampWithOp(m.cfg.Keys, last, now, applied[0].opBytes)
 		proofs = []merkle.Proof{{}}
 	} else {
-		tree := BatchTree(first, ops)
+		// Rebuild the batch tree into reused scratch (leaf slice and
+		// level arrays persist across batches).
+		m.leafScratch = AppendBatchLeaves(m.leafScratch[:0], first, ops)
+		tree := m.batchTree.Rebuild(m.leafScratch)
 		stamp = SignBatchStamp(m.cfg.Keys, last, now, tree.Root())
 		proofs = make([]merkle.Proof, len(applied))
+		// The op log retains the proofs, so their steps must own fresh
+		// memory — but one backing array covers the whole batch.
+		depth := tree.Depth()
+		backing := make([]merkle.ProofStep, len(applied)*depth)
 		for i := range applied {
-			p, err := tree.Prove(i)
+			off := i * depth
+			p, err := tree.ProveInto(i, backing[off:off:off+depth])
 			if err != nil {
 				// Unreachable: i indexes the tree we just built.
 				m.mu.Unlock()
@@ -929,12 +1025,12 @@ func (m *Master) applyBatch(seq uint64, batch []batchWaiter) {
 	var frame []byte
 	method := MethodUpdateBatch
 	if len(applied) == 1 {
-		w := wire.NewWriter(len(applied[0].opBytes) + 128)
-		w.Uvarint(last)
-		w.Bytes_(applied[0].opBytes)
-		stamp.Encode(w)
-		w.String_(m.cfg.Addr)
-		frame = w.Bytes()
+		frame = wire.EncodeFrame(func(w *wire.Writer) {
+			w.Uvarint(last)
+			w.Bytes_(applied[0].opBytes)
+			stamp.Encode(w)
+			w.String_(m.cfg.Addr)
+		})
 		method = MethodUpdate
 	} else {
 		frame = EncodeBatchUpdate(BatchUpdate{
@@ -1279,26 +1375,26 @@ func (m *Master) handleSync(body []byte) ([]byte, error) {
 		}
 	}
 
-	w := wire.NewWriter(1024)
-	if proto >= 2 {
-		w.Byte(0) // v3 mode: records only
-	}
-	w.Uvarint(uint64(len(recs)))
-	for _, rec := range recs {
-		if v2 {
-			rec.Encode(w)
-			continue
-		}
-		w.Uvarint(rec.Version)
-		w.Bytes_(rec.OpBytes)
-		rec.Stamp.Encode(w)
-	}
 	stamp := SignStamp(m.cfg.Keys, cur, m.rt.Now())
-	stamp.Encode(w)
-	if proto >= 3 {
-		w.Uvarint(anchor)
-	}
-	return w.Bytes(), nil
+	return wire.EncodeFrame(func(w *wire.Writer) {
+		if proto >= 2 {
+			w.Byte(0) // v3 mode: records only
+		}
+		w.Uvarint(uint64(len(recs)))
+		for _, rec := range recs {
+			if v2 {
+				rec.Encode(w)
+				continue
+			}
+			w.Uvarint(rec.Version)
+			w.Bytes_(rec.OpBytes)
+			rec.Stamp.Encode(w)
+		}
+		stamp.Encode(w)
+		if proto >= 3 {
+			w.Uvarint(anchor)
+		}
+	}), nil
 }
 
 // serveSnapshotSyncLocked builds the v3 snapshot-first sync reply for a
@@ -1453,10 +1549,11 @@ func (m *Master) keepAliveLoop() {
 		m.mu.Unlock()
 		chargeCPU(m.cfg.CPU, m.cfg.Params.Costs.Sign)
 		stamp := SignStamp(m.cfg.Keys, version, m.rt.Now())
-		w := wire.NewWriter(128)
-		stamp.Encode(w)
-		w.String_(m.cfg.Addr)
-		frame := w.Bytes()
+		// Detached frame: the dialer tasks below retain it.
+		frame := wire.EncodeFrame(func(w *wire.Writer) {
+			stamp.Encode(w)
+			w.String_(m.cfg.Addr)
+		})
 		for _, sl := range slaves {
 			sl := sl
 			m.rt.Spawn(func() {

@@ -25,6 +25,10 @@ type SlaveStats struct {
 	SnapshotSyncs  uint64 // syncs answered snapshot-first (history truncated)
 	SyncsSkipped   uint64 // sync requests elided by the single-flight guard
 	KeepAlives     uint64
+	// StampCacheHits/Misses count verified-stamp cache consultations: a
+	// hit replaces an ed25519 verification with a hash lookup.
+	StampCacheHits   uint64
+	StampCacheMisses uint64
 }
 
 // SlaveConfig configures a slave server.
@@ -59,6 +63,8 @@ type Slave struct {
 	lastStamp VersionStamp
 	syncing   bool // single-flight: at most one syncFrom in progress
 	stats     SlaveStats
+
+	stamps *stampCache // verified-stamp cache (amortizes repeat Verify)
 }
 
 // NewSlave creates a slave over an initial content replica (cloned).
@@ -67,11 +73,12 @@ func NewSlave(cfg SlaveConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.St
 		cfg.Behavior = Honest{}
 	}
 	return &Slave{
-		cfg:   cfg,
-		rt:    rt,
-		dlr:   dlr,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		store: initial.Clone(),
+		cfg:    cfg,
+		rt:     rt,
+		dlr:    dlr,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		store:  initial.Clone(),
+		stamps: newStampCache(0),
 	}
 }
 
@@ -79,7 +86,25 @@ func NewSlave(cfg SlaveConfig, rt sim.Runtime, dlr rpc.Dialer, initial *store.St
 func (s *Slave) Stats() SlaveStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.StampCacheHits, st.StampCacheMisses = s.stamps.stats()
+	return st
+}
+
+// verifyStamp checks a stamp signature through the verified-stamp cache,
+// charging the modelled cost of the work actually done: a full signature
+// verification on a miss, a cache lookup on a hit.
+func (s *Slave) verifyStamp(v *VersionStamp) error {
+	hit, err := s.stamps.verify(v, s.cfg.MasterPubs)
+	if err != nil {
+		return err
+	}
+	if hit {
+		chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.CacheLookup)
+	} else {
+		chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
+	}
+	return nil
 }
 
 // Version returns the slave replica's content version.
@@ -194,7 +219,7 @@ func (s *Slave) handleKeepAlive(from string, body []byte) ([]byte, error) {
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	if err := stamp.Verify(s.cfg.MasterPubs); err != nil {
+	if _, err := s.stamps.verify(&stamp, s.cfg.MasterPubs); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -222,11 +247,11 @@ func (s *Slave) handleKeepAlive(from string, body []byte) ([]byte, error) {
 }
 
 // ackLocked encodes the slave's applied-version acknowledgement, the
-// reply body for keep-alives and updates. Caller holds s.mu.
+// reply body for keep-alives and updates. Caller holds s.mu. The frame
+// is detached (reply bodies are retained by the transport).
 func (s *Slave) ackLocked() []byte {
-	w := wire.NewWriter(8)
-	w.Uvarint(s.store.Version())
-	return w.Bytes()
+	v := s.store.Version()
+	return wire.EncodeFrame(func(w *wire.Writer) { w.Uvarint(v) })
 }
 
 func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
@@ -241,14 +266,13 @@ func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	if err := stamp.Verify(s.cfg.MasterPubs); err != nil {
+	if err := s.verifyStamp(&stamp); err != nil {
 		return nil, err
 	}
 	// The stamp must authorize exactly this operation at this version.
 	if stamp.Version != version || !stamp.AuthenticatesOp(opBytes) {
 		return nil, ErrBadStamp
 	}
-	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
 	s.mu.Lock()
 	if masterAddr != "" {
 		s.cfg.MasterAddr = masterAddr
@@ -297,14 +321,17 @@ func (s *Slave) handleUpdateBatch(from string, body []byte) ([]byte, error) {
 		return nil, err
 	}
 	// One signature verification per batch — the receiving half of the
-	// master's signing amortization — plus the proof hashing.
-	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
+	// master's signing amortization (a duplicate delivery hits the
+	// verified-stamp cache instead) — plus the proof hashing.
+	if err := s.verifyStamp(&bu.Stamp); err != nil {
+		return nil, err
+	}
 	var opBytesTotal int
 	for _, op := range bu.Ops {
 		opBytesTotal += len(op)
 	}
 	chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.BatchOverhead(len(bu.Ops), opBytesTotal))
-	if err := bu.Verify(s.cfg.MasterPubs); err != nil {
+	if err := bu.VerifyMembers(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -433,10 +460,10 @@ func (s *Slave) syncFrom(masterAddr string) error {
 		op      store.Op
 	}
 	updates := make([]upd, 0, n)
-	// Records of one batch share a single stamp; verify each distinct
-	// signature once (the sync-path half of signature amortization) and
-	// the per-op binding for every record.
-	var verifiedStamp string
+	// Records of one batch share a single stamp; the verified-stamp cache
+	// verifies each distinct signature once (the sync-path half of
+	// signature amortization) and the per-op binding is checked for every
+	// record.
 	for i := uint64(0); i < n; i++ {
 		rec, err := DecodeOpRecord(r)
 		if err != nil {
@@ -444,13 +471,8 @@ func (s *Slave) syncFrom(masterAddr string) error {
 		}
 		// Each replayed op must carry the master's original evidence: a
 		// per-op update stamp or its batch stamp plus membership proof.
-		key := string(rec.Stamp.signedBytes()) + string(rec.Stamp.Sig)
-		if key != verifiedStamp {
-			if err := rec.Stamp.Verify(s.cfg.MasterPubs); err != nil {
-				return err
-			}
-			chargeCPU(s.cfg.CPU, s.cfg.Params.Costs.VerifySig)
-			verifiedStamp = key
+		if err := s.verifyStamp(&rec.Stamp); err != nil {
+			return err
 		}
 		if err := rec.VerifyBinding(); err != nil {
 			return err
@@ -465,7 +487,7 @@ func (s *Slave) syncFrom(masterAddr string) error {
 	if err != nil {
 		return err
 	}
-	if err := stamp.Verify(s.cfg.MasterPubs); err != nil {
+	if _, err := s.stamps.verify(&stamp, s.cfg.MasterPubs); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -500,13 +522,14 @@ type ReadReply struct {
 	XLie    bool
 }
 
-// EncodeReadReply serializes a reply.
+// EncodeReadReply serializes a reply to a detached frame (reply bodies
+// are retained by the transport).
 func EncodeReadReply(rr ReadReply) []byte {
-	w := wire.NewWriter(len(rr.Payload) + 256)
-	w.Bytes_(rr.Payload)
-	rr.Pledge.Encode(w)
-	w.Bool(rr.XLie)
-	return w.Bytes()
+	return wire.EncodeFrame(func(w *wire.Writer) {
+		w.Bytes_(rr.Payload)
+		rr.Pledge.Encode(w)
+		w.Bool(rr.XLie)
+	})
 }
 
 // DecodeReadReply parses a reply.
@@ -528,7 +551,9 @@ func DecodeReadReply(b []byte) (ReadReply, error) {
 
 func (s *Slave) handleRead(body []byte) ([]byte, error) {
 	r := wire.NewReader(body)
-	queryBytes := r.Bytes()
+	// Zero-copy view: the query bytes are re-encoded into the pledge
+	// before this handler returns, never retained past body's lifetime.
+	queryBytes := r.BytesView()
 	if err := r.Done(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+// Verified-stamp cache: amortizing repeated signature verification.
+//
+// The same signed stamp arrives at a node many times: every read served
+// between two updates carries the slave's current stamp back to the
+// client, every record of one batch in a sync stream shares the batch
+// stamp, and pledge audits revisit stamps long after commit. The
+// signature only needs to be checked once — afterwards, recognizing the
+// exact same stamp is a hash lookup, three orders of magnitude cheaper
+// than ed25519.Verify under the modern cost model (CacheLookup vs
+// VerifySig).
+//
+// Safety: the cache key is a digest over the stamp's entire signed body
+// AND its signature (VersionStamp.cacheKey). An attacker cannot pair a
+// previously-seen signature with a altered body (the body is in the key)
+// nor replay a cached verdict for a different master (the master key is
+// part of the signed body). Only positive verdicts are cached, and only
+// after a full Verify against this node's own trusted-master set.
+package core
+
+import (
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// defaultStampCacheSize bounds the cache. Stamps recur over short windows
+// (the interval between two updates, one sync stream, one audit pass), so
+// a small bound captures nearly all repeats while capping memory at a few
+// KiB per node.
+const defaultStampCacheSize = 256
+
+// stampCache is a bounded FIFO set of verified stamp digests. Safe for
+// concurrent use.
+type stampCache struct {
+	mu   sync.Mutex
+	m    map[cryptoutil.Digest]struct{}
+	ring []cryptoutil.Digest
+	pos  int
+	size int
+
+	hits, misses uint64
+}
+
+func newStampCache(size int) *stampCache {
+	if size <= 0 {
+		size = defaultStampCacheSize
+	}
+	return &stampCache{
+		m:    make(map[cryptoutil.Digest]struct{}, size),
+		size: size,
+	}
+}
+
+// verify checks the stamp's signature against the trusted master set,
+// consulting the cache first. It reports whether the expensive check was
+// skipped (hit == true), so callers charging simulated CPU can charge
+// CacheLookup instead of VerifySig.
+func (c *stampCache) verify(v *VersionStamp, trusted []cryptoutil.PublicKey) (hit bool, err error) {
+	key := v.cacheKey()
+	c.mu.Lock()
+	if _, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	if err := v.Verify(trusted); err != nil {
+		return false, err
+	}
+
+	c.mu.Lock()
+	if _, ok := c.m[key]; !ok {
+		if len(c.ring) < c.size {
+			c.ring = append(c.ring, key)
+		} else {
+			delete(c.m, c.ring[c.pos])
+			c.ring[c.pos] = key
+			c.pos = (c.pos + 1) % c.size
+		}
+		c.m[key] = struct{}{}
+	}
+	c.mu.Unlock()
+	return false, nil
+}
+
+// stats returns the hit/miss counters.
+func (c *stampCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

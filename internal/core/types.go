@@ -59,8 +59,10 @@ type VersionStamp struct {
 	Sig       []byte
 }
 
-func (v *VersionStamp) signedBytes() []byte {
-	w := wire.NewWriter(64)
+// appendSignedBytes appends the stamp's signing body to w. Sign and
+// Verify run it through a pooled writer so the (very hot) stamp paths
+// do not allocate a fresh buffer per signature operation.
+func (v *VersionStamp) appendSignedBytes(w *wire.Writer) {
 	if v.Kind == stampKindBatch {
 		w.String_("vbatch.v1")
 	} else {
@@ -70,14 +72,43 @@ func (v *VersionStamp) signedBytes() []byte {
 	w.Time(v.Timestamp)
 	w.Bytes_(v.OpDigest[:])
 	w.Bytes_(v.MasterPub)
-	return w.Bytes()
+}
+
+// signedBytes returns a fresh copy of the canonical signed body; the
+// hot paths use appendSignedBytes with a pooled writer instead.
+func (v *VersionStamp) signedBytes() []byte {
+	w := wire.GetWriter()
+	v.appendSignedBytes(w)
+	b := w.Detach()
+	wire.PutWriter(w)
+	return b
+}
+
+func (v *VersionStamp) sign(master *cryptoutil.KeyPair) {
+	w := wire.GetWriter()
+	v.appendSignedBytes(w)
+	v.Sig = master.Sign(w.Bytes())
+	wire.PutWriter(w)
+}
+
+// cacheKey returns a digest binding the stamp's entire signed body AND
+// its signature. A verified-stamp cache keyed by it cannot be poisoned
+// by pairing a seen signature with a different body (the body is in the
+// key) or a seen body with a garbage signature (the signature is too).
+func (v *VersionStamp) cacheKey() cryptoutil.Digest {
+	w := wire.GetWriter()
+	v.appendSignedBytes(w)
+	w.Bytes_(v.Sig)
+	d := cryptoutil.HashBytes(w.Bytes())
+	wire.PutWriter(w)
+	return d
 }
 
 // SignStamp creates a keep-alive stamp for (version, ts) under the
 // master's key.
 func SignStamp(master *cryptoutil.KeyPair, version uint64, ts time.Time) VersionStamp {
 	v := VersionStamp{Version: version, Timestamp: ts, MasterPub: master.Public}
-	v.Sig = master.Sign(v.signedBytes())
+	v.sign(master)
 	return v
 }
 
@@ -89,7 +120,7 @@ func SignStampWithOp(master *cryptoutil.KeyPair, version uint64, ts time.Time, o
 		OpDigest:  cryptoutil.HashBytes(opBytes),
 		MasterPub: master.Public,
 	}
-	v.Sig = master.Sign(v.signedBytes())
+	v.sign(master)
 	return v
 }
 
@@ -119,14 +150,20 @@ func BatchLeaf(version uint64, opBytes []byte) merkle.Entry {
 	return merkle.Entry{Key: "v" + strconv.FormatUint(version, 10), Value: opBytes}
 }
 
+// AppendBatchLeaves appends the batch's canonical leaves to dst and
+// returns it. BatchTree and the master's scratch-reusing commit path
+// share it, so signer and verifier always build identical leaves.
+func AppendBatchLeaves(dst []merkle.Entry, first uint64, ops [][]byte) []merkle.Entry {
+	for i, op := range ops {
+		dst = append(dst, BatchLeaf(first+uint64(i), op))
+	}
+	return dst
+}
+
 // BatchTree builds the batch's merkle tree: leaf i authenticates ops[i]
 // at version first+i.
 func BatchTree(first uint64, ops [][]byte) *merkle.Tree {
-	entries := make([]merkle.Entry, len(ops))
-	for i, op := range ops {
-		entries[i] = BatchLeaf(first+uint64(i), op)
-	}
-	return merkle.Build(entries)
+	return merkle.Build(AppendBatchLeaves(nil, first, ops))
 }
 
 // SignBatchStamp signs the single stamp covering a batched commit: its
@@ -138,7 +175,7 @@ func SignBatchStamp(master *cryptoutil.KeyPair, lastVersion uint64, ts time.Time
 		OpDigest: root, MasterPub: master.Public,
 		Kind: stampKindBatch,
 	}
-	v.Sig = master.Sign(v.signedBytes())
+	v.sign(master)
 	return v
 }
 
@@ -249,11 +286,18 @@ func (bu *BatchUpdate) Last() uint64 { return bu.First + uint64(len(bu.Ops)) - 1
 
 // Verify checks the stamp signature and every op's membership proof.
 func (bu *BatchUpdate) Verify(trustedMasters []cryptoutil.PublicKey) error {
-	if len(bu.Ops) == 0 || len(bu.Proofs) != len(bu.Ops) {
-		return fmt.Errorf("%w: malformed batch (%d ops, %d proofs)", ErrBadStamp, len(bu.Ops), len(bu.Proofs))
-	}
 	if err := bu.Stamp.Verify(trustedMasters); err != nil {
 		return err
+	}
+	return bu.VerifyMembers()
+}
+
+// VerifyMembers checks the batch's shape and every op's membership proof
+// against the stamp's root. The caller must have verified the stamp's
+// signature (directly or through a verified-stamp cache).
+func (bu *BatchUpdate) VerifyMembers() error {
+	if len(bu.Ops) == 0 || len(bu.Proofs) != len(bu.Ops) {
+		return fmt.Errorf("%w: malformed batch (%d ops, %d proofs)", ErrBadStamp, len(bu.Ops), len(bu.Proofs))
 	}
 	count := uint64(len(bu.Ops))
 	for i, op := range bu.Ops {
@@ -264,33 +308,37 @@ func (bu *BatchUpdate) Verify(trustedMasters []cryptoutil.PublicKey) error {
 	return nil
 }
 
-// EncodeBatchUpdate serializes the frame.
+// EncodeBatchUpdate serializes the frame. The encode runs through a
+// pooled writer; the returned slice is a detached, exactly-sized copy
+// that the caller may retain (it is handed to dialers).
 func EncodeBatchUpdate(bu BatchUpdate) []byte {
-	size := 256
-	for _, op := range bu.Ops {
-		size += len(op) + 64
-	}
-	w := wire.NewWriter(size)
-	w.Uvarint(bu.First)
-	w.BytesSlice(bu.Ops)
-	w.Uvarint(uint64(len(bu.Proofs)))
-	for _, p := range bu.Proofs {
-		p.Encode(w)
-	}
-	bu.Stamp.Encode(w)
-	w.String_(bu.MasterAddr)
-	return w.Bytes()
+	return wire.EncodeFrame(func(w *wire.Writer) {
+		w.Uvarint(bu.First)
+		w.BytesSlice(bu.Ops)
+		w.Uvarint(uint64(len(bu.Proofs)))
+		for _, p := range bu.Proofs {
+			p.Encode(w)
+		}
+		bu.Stamp.Encode(w)
+		w.String_(bu.MasterAddr)
+	})
 }
 
-// DecodeBatchUpdate parses the frame.
+// DecodeBatchUpdate parses the frame. The decoded Ops alias b (the store
+// copies key and value bytes on apply, and the frame outlives the
+// handler that decodes it); the stamp's key and signature are copies, so
+// retaining the stamp is safe.
 func DecodeBatchUpdate(b []byte) (BatchUpdate, error) {
 	r := wire.NewReader(b)
 	var bu BatchUpdate
 	bu.First = r.Uvarint()
-	bu.Ops = r.BytesSlice()
+	bu.Ops = r.BytesSliceView()
 	n := r.Uvarint()
 	if r.Err() == nil && n > wire.MaxBatchItems {
 		return bu, wire.ErrTooLarge
+	}
+	if r.Err() == nil && n > 0 {
+		bu.Proofs = make([]merkle.Proof, 0, n)
 	}
 	for i := uint64(0); i < n; i++ {
 		p, err := merkle.DecodeProof(r)
@@ -315,7 +363,11 @@ func DecodeBatchUpdate(b []byte) (BatchUpdate, error) {
 func (v *VersionStamp) Verify(trustedMasters []cryptoutil.PublicKey) error {
 	for _, pub := range trustedMasters {
 		if bytes.Equal(pub, v.MasterPub) {
-			if err := cryptoutil.Verify(v.MasterPub, v.signedBytes(), v.Sig); err != nil {
+			w := wire.GetWriter()
+			v.appendSignedBytes(w)
+			err := cryptoutil.Verify(v.MasterPub, w.Bytes(), v.Sig)
+			wire.PutWriter(w)
+			if err != nil {
 				return fmt.Errorf("%w: %v", ErrBadStamp, err)
 			}
 			return nil
@@ -373,14 +425,12 @@ type Pledge struct {
 	Sig        []byte
 }
 
-func (p *Pledge) signedBytes() []byte {
-	w := wire.NewWriter(128)
+func (p *Pledge) appendSignedBytes(w *wire.Writer) {
 	w.String_("pledge.v1")
 	w.Bytes_(p.QueryBytes)
 	w.Bytes_(p.ResultHash[:])
 	p.Stamp.Encode(w) // includes the master signature: binds exact stamp
 	w.Bytes_(p.SlavePub)
-	return w.Bytes()
 }
 
 // SignPledge builds and signs a pledge over (query, result hash, stamp).
@@ -391,13 +441,20 @@ func SignPledge(slave *cryptoutil.KeyPair, queryBytes []byte, resultHash cryptou
 		Stamp:      stamp,
 		SlavePub:   slave.Public,
 	}
-	p.Sig = slave.Sign(p.signedBytes())
+	w := wire.GetWriter()
+	p.appendSignedBytes(w)
+	p.Sig = slave.Sign(w.Bytes())
+	wire.PutWriter(w)
 	return p
 }
 
 // VerifySig checks the slave's signature on the pledge.
 func (p *Pledge) VerifySig() error {
-	if err := cryptoutil.Verify(p.SlavePub, p.signedBytes(), p.Sig); err != nil {
+	w := wire.GetWriter()
+	p.appendSignedBytes(w)
+	err := cryptoutil.Verify(p.SlavePub, w.Bytes(), p.Sig)
+	wire.PutWriter(w)
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadPledge, err)
 	}
 	return nil
@@ -412,11 +469,10 @@ func (p *Pledge) Encode(w *wire.Writer) {
 	w.Bytes_(p.Sig)
 }
 
-// EncodePledge serializes a pledge to a fresh byte slice.
+// EncodePledge serializes a pledge to a fresh, detached byte slice that
+// the caller may retain.
 func EncodePledge(p Pledge) []byte {
-	w := wire.NewWriter(256)
-	p.Encode(w)
-	return w.Bytes()
+	return wire.EncodeFrame(p.Encode)
 }
 
 // DecodePledge reads a pledge from r.
@@ -476,24 +532,29 @@ type WriteRequest struct {
 	Sig       []byte
 }
 
-func (wr *WriteRequest) signedBytes() []byte {
-	w := wire.NewWriter(64)
+func (wr *WriteRequest) appendSignedBytes(w *wire.Writer) {
 	w.String_("write.v1")
 	w.Bytes_(wr.OpBytes)
 	w.Bytes_(wr.ClientPub)
-	return w.Bytes()
 }
 
 // SignWrite builds a write request for op under the client's key.
 func SignWrite(client *cryptoutil.KeyPair, op store.Op) WriteRequest {
 	wr := WriteRequest{OpBytes: store.EncodeOp(op), ClientPub: client.Public}
-	wr.Sig = client.Sign(wr.signedBytes())
+	w := wire.GetWriter()
+	wr.appendSignedBytes(w)
+	wr.Sig = client.Sign(w.Bytes())
+	wire.PutWriter(w)
 	return wr
 }
 
 // VerifySig checks the client's signature.
 func (wr *WriteRequest) VerifySig() error {
-	return cryptoutil.Verify(wr.ClientPub, wr.signedBytes(), wr.Sig)
+	w := wire.GetWriter()
+	wr.appendSignedBytes(w)
+	err := cryptoutil.Verify(wr.ClientPub, w.Bytes(), wr.Sig)
+	wire.PutWriter(w)
+	return err
 }
 
 // Encode appends the write request to w.
@@ -503,12 +564,15 @@ func (wr *WriteRequest) Encode(w *wire.Writer) {
 	w.Bytes_(wr.Sig)
 }
 
-// DecodeWriteRequest reads a write request from r.
+// DecodeWriteRequest reads a write request from r. The request's fields
+// alias r's buffer (request frames are freshly allocated per message and
+// immutable after receipt, so the views stay valid for as long as the
+// request is retained — they just pin the frame).
 func DecodeWriteRequest(r *wire.Reader) (WriteRequest, error) {
 	var wr WriteRequest
-	wr.OpBytes = r.Bytes()
-	wr.ClientPub = cryptoutil.PublicKey(r.Bytes())
-	wr.Sig = r.Bytes()
+	wr.OpBytes = r.BytesView()
+	wr.ClientPub = cryptoutil.PublicKey(r.BytesView())
+	wr.Sig = r.BytesView()
 	return wr, r.Err()
 }
 

@@ -14,6 +14,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // DigestSize is the size of a result digest in bytes (SHA-1).
@@ -25,19 +26,40 @@ type Digest [DigestSize]byte
 // HashBytes returns the SHA-1 digest of b.
 func HashBytes(b []byte) Digest { return sha1.Sum(b) }
 
+// maxPooledConcat bounds the concat buffers kept in the pool so one huge
+// input (a snapshot-sized value) cannot pin a giant buffer forever.
+const maxPooledConcat = 1 << 20 // 1 MiB
+
+var concatPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
 // HashConcat returns the SHA-1 digest of the concatenation of the given
 // length-delimited parts. Each part is prefixed with its length so that
 // ("ab","c") and ("a","bc") hash differently.
+//
+// The framing (8-byte big-endian length before each part) is part of the
+// protocol: every digest in the system depends on it, so it must never
+// change. The concatenation is assembled in a pooled scratch buffer and
+// hashed with sha1.Sum, which keeps the hot path (merkle nodes, store
+// entry digests, stamp bodies) free of per-call allocation.
 func HashConcat(parts ...[]byte) Digest {
-	h := sha1.New()
+	bp := concatPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	var lenbuf [8]byte
 	for _, p := range parts {
 		binary.BigEndian.PutUint64(lenbuf[:], uint64(len(p)))
-		h.Write(lenbuf[:])
-		h.Write(p)
+		buf = append(buf, lenbuf[:]...)
+		buf = append(buf, p...)
 	}
-	var d Digest
-	copy(d[:], h.Sum(nil))
+	d := sha1.Sum(buf)
+	if cap(buf) <= maxPooledConcat {
+		*bp = buf
+		concatPool.Put(bp)
+	}
 	return d
 }
 

@@ -33,6 +33,10 @@ type ScenarioConfig struct {
 	// pipeline (0 = unbatched / default timeout).
 	BatchSize    int
 	BatchTimeout time.Duration
+	// BatchAdaptive makes the masters scale the partial-batch flush
+	// timeout to the observed write arrival rate instead of always
+	// waiting the full BatchTimeout.
+	BatchAdaptive bool
 	// CheckpointEvery enables stability checkpointing at this cadence
 	// (0 = off: the op log and broadcast archive grow with total writes).
 	CheckpointEvery time.Duration
@@ -168,6 +172,7 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 			Seed:                cfg.Seed*1000 + int64(i),
 			BatchSize:           cfg.BatchSize,
 			BatchTimeout:        cfg.BatchTimeout,
+			BatchAdaptive:       cfg.BatchAdaptive,
 			CheckpointEvery:     cfg.CheckpointEvery,
 			CheckpointMinRetain: cfg.CheckpointMinRetain,
 			CheckpointMaxLag:    cfg.CheckpointMaxLag,
@@ -317,6 +322,8 @@ func (sc *Scenario) TotalSlaveStats() core.SlaveStats {
 		t.SnapshotSyncs += st.SnapshotSyncs
 		t.SyncsSkipped += st.SyncsSkipped
 		t.KeepAlives += st.KeepAlives
+		t.StampCacheHits += st.StampCacheHits
+		t.StampCacheMisses += st.StampCacheMisses
 	}
 	return t
 }
@@ -373,6 +380,8 @@ func (sc *Scenario) TotalClientStats() core.ClientStats {
 		t.WritesOK += st.WritesOK
 		t.WritesFailed += st.WritesFailed
 		t.KMismatch += st.KMismatch
+		t.StampCacheHits += st.StampCacheHits
+		t.StampCacheMisses += st.StampCacheMisses
 	}
 	return t
 }

@@ -7,6 +7,15 @@
 // The tree is built over the ordered (key, value) entries of a content
 // snapshot. Leaves are hashed with a domain-separated prefix distinct
 // from interior nodes, preventing second-preimage splicing attacks.
+//
+// The same trees authenticate batched commits on the write hot path, so
+// the API supports steady-state reuse: Rebuild reconstructs a tree into
+// its existing level scratch, ProveInto appends proof steps to a
+// caller-carved backing slice, and each proof carries a 1-byte LeafTag
+// (the leaf digest's first byte) that lets Verify reject a mismatched
+// (entry, proof) pair after one leaf hash, before walking the chain.
+// The alloc_test.go guards pin rebuild+prove+verify at zero allocations
+// per batch.
 package merkle
 
 import (
@@ -37,41 +46,76 @@ func nodeHash(l, r cryptoutil.Digest) cryptoutil.Digest {
 	return cryptoutil.HashConcat([]byte{0x01}, l[:], r[:])
 }
 
-// Tree is a Merkle tree over an ordered list of entries.
+// Tree is a Merkle tree over an ordered list of entries. A zero Tree is
+// ready for Rebuild; the same Tree value can be rebuilt over successive
+// entry lists, reusing its internal level scratch so steady-state
+// rebuilds (one per committed batch) allocate nothing.
 type Tree struct {
 	entries []Entry
 	levels  [][]cryptoutil.Digest // levels[0] = leaf hashes, last = [root]
+	scratch [][]cryptoutil.Digest // reusable per-level backing; levels = scratch[:n]
 }
 
 // Build constructs a tree over the entries in the given order. The caller
 // is responsible for supplying a canonical (sorted) order; replicas built
 // from the same snapshot then produce the same root. An empty entry list
-// yields a defined, constant root.
+// yields a defined, constant root. Build copies entries; hot paths that
+// control the entry slice's lifetime should reuse a Tree via Rebuild
+// instead.
 func Build(entries []Entry) *Tree {
-	t := &Tree{entries: append([]Entry(nil), entries...)}
-	leaves := make([]cryptoutil.Digest, len(entries))
-	for i, e := range entries {
-		leaves[i] = leafHash(e)
+	t := &Tree{}
+	t.Rebuild(append([]Entry(nil), entries...))
+	return t
+}
+
+// scratchLevel returns level i sized to n digests, growing the scratch
+// only when a level is new or too small. Grown levels persist across
+// rebuilds.
+func (t *Tree) scratchLevel(i, n int) []cryptoutil.Digest {
+	for len(t.scratch) <= i {
+		t.scratch = append(t.scratch, nil)
 	}
-	if len(leaves) == 0 {
-		leaves = []cryptoutil.Digest{cryptoutil.HashBytes([]byte("merkle:empty"))}
+	if cap(t.scratch[i]) < n {
+		t.scratch[i] = make([]cryptoutil.Digest, n)
 	}
-	t.levels = append(t.levels, leaves)
-	for len(t.levels[len(t.levels)-1]) > 1 {
-		prev := t.levels[len(t.levels)-1]
-		next := make([]cryptoutil.Digest, 0, (len(prev)+1)/2)
-		for i := 0; i < len(prev); i += 2 {
-			if i+1 < len(prev) {
-				next = append(next, nodeHash(prev[i], prev[i+1]))
-			} else {
-				// Odd node is promoted unchanged (Bitcoin-style duplication
-				// is avoided: promotion cannot be exploited because leaf
-				// and node hashes are domain separated).
-				next = append(next, prev[i])
-			}
+	t.scratch[i] = t.scratch[i][:n]
+	return t.scratch[i]
+}
+
+// Rebuild reconstructs the tree in place over entries, reusing level
+// scratch from previous builds. The tree aliases entries (no copy): the
+// caller must not mutate the slice while the tree is in use. Returns the
+// tree for chaining.
+func (t *Tree) Rebuild(entries []Entry) *Tree {
+	t.entries = entries
+	used := 1
+	if len(entries) == 0 {
+		leaves := t.scratchLevel(0, 1)
+		leaves[0] = cryptoutil.HashBytes([]byte("merkle:empty"))
+	} else {
+		leaves := t.scratchLevel(0, len(entries))
+		for i, e := range entries {
+			leaves[i] = leafHash(e)
 		}
-		t.levels = append(t.levels, next)
+		for n := len(entries); n > 1; {
+			prev := t.scratch[used-1][:n]
+			m := (n + 1) / 2
+			next := t.scratchLevel(used, m)
+			for i := 0; i < n; i += 2 {
+				if i+1 < n {
+					next[i/2] = nodeHash(prev[i], prev[i+1])
+				} else {
+					// Odd node is promoted unchanged (Bitcoin-style duplication
+					// is avoided: promotion cannot be exploited because leaf
+					// and node hashes are domain separated).
+					next[i/2] = prev[i]
+				}
+			}
+			n = m
+			used++
+		}
 	}
+	t.levels = t.scratch[:used]
 	return t
 }
 
@@ -83,6 +127,11 @@ func (t *Tree) Root() cryptoutil.Digest {
 
 // Len returns the number of leaves.
 func (t *Tree) Len() int { return len(t.entries) }
+
+// Depth returns the number of levels above the leaves — the maximum
+// number of steps any membership proof can have. Callers sizing proof
+// scratch buffers use it.
+func (t *Tree) Depth() int { return len(t.levels) - 1 }
 
 // Entry returns leaf i.
 func (t *Tree) Entry(i int) (Entry, error) {
@@ -116,17 +165,33 @@ type ProofStep struct {
 }
 
 // Proof is a membership proof for one leaf.
+//
+// LeafTag is the first byte of the proven leaf's hash — a 1-byte
+// pre-filter in the style of wallet view tags. Verify recomputes the
+// leaf hash anyway, so checking the tag first rejects a mismatched
+// (entry, proof) pair for one byte-compare instead of a full
+// depth-many hash-chain recomputation, while a forged tag changes
+// nothing: the chain walk still has to reach the signed root.
 type Proof struct {
-	Index int
-	Steps []ProofStep
+	Index   int
+	LeafTag byte
+	Steps   []ProofStep
 }
 
 // Prove returns the membership proof for leaf i.
 func (t *Tree) Prove(i int) (Proof, error) {
+	return t.ProveInto(i, nil)
+}
+
+// ProveInto is Prove with a caller-provided step buffer: steps is
+// truncated and appended to, so a caller proving every leaf of a batch
+// can carve per-proof buffers out of one backing array and allocate
+// nothing. The returned proof's Steps alias the buffer.
+func (t *Tree) ProveInto(i int, steps []ProofStep) (Proof, error) {
 	if i < 0 || i >= len(t.entries) {
 		return Proof{}, ErrIndexRange
 	}
-	p := Proof{Index: i}
+	p := Proof{Index: i, LeafTag: t.levels[0][i][0], Steps: steps[:0]}
 	idx := i
 	for level := 0; level < len(t.levels)-1; level++ {
 		nodes := t.levels[level]
@@ -151,6 +216,7 @@ const maxProofSteps = 64
 // (batched commits ship one proof per member op).
 func (p Proof) Encode(w *wire.Writer) {
 	w.Uvarint(uint64(p.Index))
+	w.Byte(p.LeafTag)
 	w.Uvarint(uint64(len(p.Steps)))
 	for _, s := range p.Steps {
 		w.Bytes_(s.Sibling[:])
@@ -158,17 +224,23 @@ func (p Proof) Encode(w *wire.Writer) {
 	}
 }
 
-// DecodeProof reads a proof written by Encode.
+// DecodeProof reads a proof written by Encode. Sibling digests are read
+// through zero-copy views and copied into the proof's fixed-size digest
+// fields, so decoding allocates only the step slice.
 func DecodeProof(r *wire.Reader) (Proof, error) {
 	var p Proof
 	p.Index = int(r.Uvarint())
+	p.LeafTag = r.Byte()
 	n := r.Uvarint()
 	if r.Err() == nil && n > maxProofSteps {
 		return p, fmt.Errorf("merkle: proof path of %d steps is implausible", n)
 	}
+	if r.Err() == nil && n > 0 {
+		p.Steps = make([]ProofStep, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		var s ProofStep
-		d := r.Bytes()
+		d := r.BytesView()
 		if len(d) == cryptoutil.DigestSize {
 			copy(s.Sibling[:], d)
 		} else if r.Err() == nil {
@@ -184,8 +256,13 @@ func DecodeProof(r *wire.Reader) (Proof, error) {
 }
 
 // Verify checks that entry is a member of the tree with the given root.
+// The proof's LeafTag is checked first: a mismatched (entry, proof) pair
+// is rejected after one leaf hash, before any of the chain is recomputed.
 func Verify(root cryptoutil.Digest, entry Entry, proof Proof) error {
 	h := leafHash(entry)
+	if proof.LeafTag != h[0] {
+		return fmt.Errorf("%w (index %d: leaf tag mismatch)", ErrProofInvalid, proof.Index)
+	}
 	for _, s := range proof.Steps {
 		if s.Left {
 			h = nodeHash(s.Sibling, h)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package merkle
+
+const raceEnabled = false

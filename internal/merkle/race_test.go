@@ -1,0 +1,7 @@
+//go:build race
+
+package merkle
+
+// raceEnabled reports that the race detector is on; its instrumentation
+// allocates, so the AllocsPerRun guards skip themselves under -race.
+const raceEnabled = true

@@ -42,7 +42,7 @@ func (p *Promise) complete(v interface{}, err error) {
 	p.err = err
 	for _, t := range p.waiters {
 		p.s.unregisterWaiter(t)
-		p.s.push(&event{at: p.s.now, kind: evWake, t: t})
+		p.s.push(p.s.newEvent(p.s.now, evWake, nil, t))
 	}
 	p.waiters = nil
 }
@@ -108,7 +108,7 @@ func (f Future) AwaitTimeout(d time.Duration) (interface{}, error) {
 			}
 		}
 		s.unregisterWaiter(t)
-		s.push(&event{at: s.now, kind: evWake, t: t})
+		s.push(s.newEvent(s.now, evWake, nil, t))
 	})
 	if s.park() {
 		return nil, ErrStopped

@@ -31,6 +31,12 @@ type Sim struct {
 	parked  int // tasks parked with no scheduled wakeup (future waiters)
 
 	futureWaiters map[*task]struct{} // parked future waiters, for shutdown
+
+	// free recycles event structs: every event is pushed once and popped
+	// once (RunUntil or stop), so the scheduler's steady state allocates
+	// no events. Safe without synchronization because push and pop both
+	// happen in scheduler context (the single-token execution model).
+	free []*event
 }
 
 type eventKind uint8
@@ -100,6 +106,24 @@ func (s *Sim) push(e *event) {
 	heap.Push(&s.events, e)
 }
 
+// newEvent takes an event from the free list, or allocates one.
+func (s *Sim) newEvent(at time.Time, kind eventKind, fn func(), t *task) *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		e.at, e.kind, e.fn, e.t = at, kind, fn, t
+		return e
+	}
+	return &event{at: at, kind: kind, fn: fn, t: t}
+}
+
+// recycle returns a popped event to the free list. Callers must copy
+// out any fields they still need first.
+func (s *Sim) recycle(e *event) {
+	*e = event{}
+	s.free = append(s.free, e)
+}
+
 // Go schedules fn to start as a new task at the current virtual time.
 // It may be called before Run or from within a running task.
 func (s *Sim) Go(fn func()) {
@@ -112,7 +136,7 @@ func (s *Sim) GoAt(at time.Time, fn func()) {
 	if at.Before(s.now) {
 		at = s.now
 	}
-	s.push(&event{at: at, kind: evStart, fn: fn})
+	s.push(s.newEvent(at, evStart, fn, nil))
 }
 
 // GoAfter schedules fn to start as a new task after delay d.
@@ -124,7 +148,7 @@ func (s *Sim) GoAfter(d time.Duration, fn func()) {
 // fn must not block on simulation primitives; it is intended for cheap
 // bookkeeping such as resolving a promise or recording a sample.
 func (s *Sim) Call(d time.Duration, fn func()) {
-	s.push(&event{at: s.now.Add(d), kind: evFunc, fn: fn})
+	s.push(s.newEvent(s.now.Add(d), evFunc, fn, nil))
 }
 
 // Run executes the simulation until no events remain, until the optional
@@ -143,17 +167,21 @@ func (s *Sim) RunUntil(horizon time.Time) int {
 		e := heap.Pop(&s.events).(*event)
 		if !horizon.IsZero() && e.at.After(horizon) {
 			s.now = horizon
+			s.recycle(e)
 			break
 		}
 		s.now = e.at
 		dispatched++
-		switch e.kind {
+		// Copy the fields out and recycle before executing: the handler
+		// may push new events, which are then free to reuse this struct.
+		kind, fn, t := e.kind, e.fn, e.t
+		s.recycle(e)
+		switch kind {
 		case evFunc:
-			e.fn()
+			fn()
 		case evStart:
 			t := &task{resume: make(chan struct{}), index: dispatched}
 			s.tasks++
-			fn := e.fn
 			go func() {
 				<-t.resume
 				fn()
@@ -162,10 +190,10 @@ func (s *Sim) RunUntil(horizon time.Time) int {
 			}()
 			s.dispatch(t)
 		case evWake:
-			if e.t.aborted {
+			if t.aborted {
 				continue // already force-woken by Stop
 			}
-			s.dispatch(e.t)
+			s.dispatch(t)
 		}
 	}
 	s.stop()
@@ -184,9 +212,11 @@ func (s *Sim) stop() {
 	// being dropped; wake them through the heap remnants first.
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(*event)
-		if e.kind == evWake && !e.t.aborted {
-			e.t.aborted = true
-			s.dispatch(e.t)
+		kind, t := e.kind, e.t
+		s.recycle(e)
+		if kind == evWake && !t.aborted {
+			t.aborted = true
+			s.dispatch(t)
 		}
 	}
 	// Then abort tasks parked on unresolved futures.
@@ -244,7 +274,7 @@ func (s *Sim) Sleep(d time.Duration) error {
 	if t == nil {
 		panic("sim: Sleep called outside a simulation task")
 	}
-	s.push(&event{at: s.now.Add(d), kind: evWake, t: t})
+	s.push(s.newEvent(s.now.Add(d), evWake, nil, t))
 	if s.park() {
 		return ErrStopped
 	}

@@ -109,9 +109,30 @@ func (a Append) String() string { return fmt.Sprintf("append(%q,%dB)", a.Key, le
 
 // EncodeOp serializes an op to a fresh byte slice.
 func EncodeOp(op Op) []byte {
-	w := wire.NewWriter(64)
-	op.Encode(w)
-	return w.Bytes()
+	return wire.EncodeFrame(op.Encode)
+}
+
+// ValidateOp reports whether b is a well-formed encoded op without
+// materializing it: the admission paths (master write admission, auditor
+// delivery) only need the decodability verdict, and walking the fields
+// through zero-copy views keeps rejection and acceptance alloc-free.
+func ValidateOp(b []byte) error {
+	r := wire.GetReader(b)
+	defer wire.PutReader(r)
+	kind := r.Byte()
+	switch kind {
+	case opPut, opAppend:
+		r.BytesView() // key
+		r.BytesView() // value / data
+	case opDelete:
+		r.BytesView() // key
+	default:
+		if err := r.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("store: unknown op kind %d", kind)
+	}
+	return r.Done()
 }
 
 // DecodeOp parses an op from its wire form.

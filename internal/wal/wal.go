@@ -36,6 +36,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 type Log struct {
 	path string
 	f    *os.File
+	// frameBuf is Append's reusable frame scratch. Safe without a lock
+	// because Log is caller-serialized (see above); the buffer's contents
+	// are fully consumed by the Write call before Append returns.
+	frameBuf []byte
 }
 
 // Open opens (creating if absent) the log at path and replays every
@@ -99,7 +103,11 @@ func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecordLen {
 		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
 	}
-	buf := make([]byte, frameHeader+len(payload))
+	need := frameHeader + len(payload)
+	if cap(l.frameBuf) < need {
+		l.frameBuf = make([]byte, need)
+	}
+	buf := l.frameBuf[:need]
 	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
 	copy(buf[frameHeader:], payload)

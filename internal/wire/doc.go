@@ -19,4 +19,12 @@
 // double-checks, and the auditor that re-executes. Decoding is hostile-
 // input safe: length prefixes are capped (MaxBytesLen, MaxBatchItems)
 // and the Reader latches the first error so call sites check once.
+//
+// The encode/decode hot path is pooled and zero-copy: GetWriter/
+// PutWriter and GetReader/PutReader round-trip through sync.Pool,
+// EncodeFrame produces retained frames with a single exact-size
+// allocation, and the BytesView/BytesSliceView accessors return slices
+// aliasing the decoded buffer. Ownership rules live in pool.go and the
+// README's pooled-buffer section; alloc_test.go pins the steady state
+// at zero allocations.
 package wire

@@ -265,6 +265,28 @@ func (r *Reader) Bytes() []byte {
 	return out
 }
 
+// BytesView reads a length-prefixed byte slice without copying. The
+// result aliases the reader's buffer: it is valid for as long as that
+// buffer is, and callers must not mutate it or retain it past the
+// buffer's lifetime. Use Bytes when the caller keeps the slice.
+func (r *Reader) BytesView() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBytesLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail(ErrShortBuffer)
+		return nil
+	}
+	out := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
 // String reads a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.Uvarint()
@@ -316,6 +338,34 @@ func (r *Reader) BytesSlice() [][]byte {
 	out := make([][]byte, 0, n)
 	for i := uint64(0); i < n; i++ {
 		b := r.Bytes()
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// BytesSliceView reads a batch frame like BytesSlice, but every element
+// aliases the reader's buffer instead of being copied. The slice header
+// itself is still allocated; only the element payloads are zero-copy.
+// Callers that retain elements past the buffer's lifetime must copy them.
+func (r *Reader) BytesSliceView() [][]byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBatchItems {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	if n > uint64(r.Remaining()) { // each element needs >=1 prefix byte
+		r.fail(ErrShortBuffer)
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		b := r.BytesView()
 		if r.err != nil {
 			return nil
 		}

@@ -9,15 +9,31 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/query"
 	"repro/internal/store"
 )
 
+// catalogKeys interns the hot low-index catalog keys: every generated
+// read and write goes through CatalogKey, and the experiments' catalogs
+// are small, so a precomputed table makes the common case alloc-free.
+var catalogKeys = func() (t [4096]string) {
+	for i := range t {
+		t[i] = fmt.Sprintf("catalog/%05d", i)
+	}
+	return
+}()
+
 // CatalogKey formats the i-th content key; the experiments' content is a
 // product-catalogue-like keyspace plus a few document files.
-func CatalogKey(i int) string { return fmt.Sprintf("catalog/%05d", i) }
+func CatalogKey(i int) string {
+	if i >= 0 && i < len(catalogKeys) {
+		return catalogKeys[i]
+	}
+	return fmt.Sprintf("catalog/%05d", i)
+}
 
 // DocKey formats the i-th document path.
 func DocKey(i int) string { return fmt.Sprintf("docs/file%03d", i) }
@@ -124,7 +140,7 @@ func IsStatic(q query.Query) bool {
 func (g *Gen) NextWrite(seq int) store.Op {
 	return store.Put{
 		Key:   CatalogKey(g.keys.Next()),
-		Value: []byte(fmt.Sprintf("%d", 100+seq)),
+		Value: strconv.AppendInt(nil, int64(100+seq), 10),
 	}
 }
 
