@@ -1,28 +1,48 @@
 # Tier-1 verification and the perf trajectory.
 #
-#   make verify     — build, vet, full test suite under the race
-#                     detector (covering the pooled wire-buffer and
-#                     merkle-scratch paths), then the E15
-#                     batch-throughput, E16 checkpointing, E17
+#   make verify     — build, vet, lint (repllint + staticcheck +
+#                     govulncheck where installed), full test suite
+#                     under the race detector (covering the pooled
+#                     wire-buffer and merkle-scratch paths), then the
+#                     E15 batch-throughput, E16 checkpointing, E17
 #                     crash-recovery, and E18 hot-path benchmarks
 #                     emitting BENCH_e15.json … BENCH_e18.json (the
 #                     perf trajectory record), a short fuzz smoke over
 #                     the wire/merkle decoders, plus the README
 #                     package-map completeness check.
+#   make lint       — repllint (the in-tree go/analysis suite under
+#                     internal/analysis: poolcheck, lockcheck,
+#                     trustcheck, timercheck), then staticcheck and
+#                     govulncheck when present on PATH (CI installs
+#                     them; locally they skip with a note).
 #   make profile    — run the E18 hot-path experiment under the CPU and
 #                     heap profilers; inspect with `go tool pprof`.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify build vet race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme bench profile
+.PHONY: verify build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme bench profile
 
-verify: build vet race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme
+verify: build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/repllint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -45,10 +65,16 @@ bench-e18:
 
 # Short native-fuzz runs over the two untrusted-input decoders. The
 # checked-in corpora under testdata/fuzz/ replay in plain `go test`;
-# this target additionally mutates for a few seconds per target.
+# this target additionally mutates for FUZZTIME per target. The targets
+# live in different packages, so they fuzz in parallel; a failure in
+# either fails the smoke.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz FuzzReaderFrame -fuzztime 10s ./internal/wire/
-	$(GO) test -run '^$$' -fuzz FuzzDecodeProof -fuzztime 10s ./internal/merkle/
+	@status=0; \
+	$(GO) test -run '^$$' -fuzz FuzzReaderFrame -fuzztime $(FUZZTIME) ./internal/wire/ & wpid=$$!; \
+	$(GO) test -run '^$$' -fuzz FuzzDecodeProof -fuzztime $(FUZZTIME) ./internal/merkle/ & mpid=$$!; \
+	wait $$wpid || status=1; \
+	wait $$mpid || status=1; \
+	exit $$status
 
 # Every top-level internal/ package must be linked from the README's
 # package map, so the map cannot silently rot as the codebase grows.

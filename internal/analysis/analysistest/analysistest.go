@@ -1,0 +1,125 @@
+// Package analysistest is a miniature golden-file test harness for the
+// repo's analyzers, mirroring golang.org/x/tools/go/analysis/analysistest:
+// test packages live under testdata/src/<importpath>/ and annotate the
+// lines where diagnostics are expected with
+//
+//	code() // want "regexp matching the message"
+//
+// Run loads the package (imports of other testdata packages resolve
+// GOPATH-style, anything else comes from the standard library), applies
+// the analyzer, and reports any mismatch between actual and expected
+// diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes testdata/src/<pkgpath> under dir with a and compares
+// diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "src")
+	pkgs, err := analysis.LoadFromSrcRoot(srcRoot, []string{pkgpath})
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error in %s: %v", pkgpath, terr)
+	}
+
+	want := collectWants(t, pkg.Fset, pkg)
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !matchWant(want, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func matchWant(want []*expectation, pos token.Position, msg string) bool {
+	for _, w := range want {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts // want "..." annotations. A line may carry
+// several: // want "a" "b".
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitQuoted(text[idx+len("want "):])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of double-quoted strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected opening quote at %q", s)
+		}
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

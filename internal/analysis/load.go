@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/core"
+	Dir   string // directory the files were parsed from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects non-fatal type-check problems. Analyzers run
+	// anyway with whatever type information survived.
+	TypeErrors []error
+}
+
+// LoadModule loads the packages selected by patterns from the Go module
+// rooted at or above dir. Supported patterns: "./..." (every package in
+// the module) and directory paths relative to the module root
+// ("./internal/core"). Test files (_test.go) and testdata directories
+// are skipped: repllint checks production code.
+func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	all := false
+	want := map[string]bool{}
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			all = true
+			continue
+		}
+		p = strings.TrimPrefix(filepath.ToSlash(filepath.Clean(p)), "./")
+		want[modPath+"/"+p] = true
+	}
+
+	ld := newLoader()
+	var dirs []string
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(root, d)
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		files, err := parseDir(ld.fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		ld.add(ip, d, files)
+	}
+
+	// Resolve local imports by import path: anything under modPath that
+	// we parsed is local; everything else goes to the source importer.
+	if err := ld.typecheckAll(); err != nil {
+		return nil, err
+	}
+
+	var out []*Package
+	for _, p := range ld.order {
+		pkg := ld.pkgs[p]
+		if all || want[p] {
+			out = append(out, pkg)
+		}
+	}
+	if !all {
+		for p := range want {
+			if _, ok := ld.pkgs[p]; !ok {
+				return nil, fmt.Errorf("analysis: pattern matched no package: %s", p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// LoadFromSrcRoot loads the named import paths from a GOPATH-style
+// source tree: srcRoot/<importpath>/*.go. Local imports resolve against
+// srcRoot; everything else goes to the standard library source
+// importer. Used by the analysistest harness.
+func LoadFromSrcRoot(srcRoot string, paths []string) ([]*Package, error) {
+	ld := newLoader()
+	var addTree func(ip string) error
+	addTree = func(ip string) error {
+		if _, ok := ld.pkgs[ip]; ok {
+			return nil
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(ip))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil // not local: leave to the stdlib importer
+		}
+		files, err := parseDir(ld.fset, dir)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("analysis: no Go files in %s", dir)
+		}
+		ld.add(ip, dir, files)
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				if err := addTree(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := addTree(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := ld.typecheckAll(); err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, ok := ld.pkgs[p]
+		if !ok {
+			return nil, fmt.Errorf("analysis: package not found under %s: %s", srcRoot, p)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type loader struct {
+	fset  *token.FileSet
+	pkgs  map[string]*Package
+	order []string // insertion order; typecheckAll topo-sorts
+	std   types.Importer
+}
+
+func newLoader() *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		pkgs: map[string]*Package{},
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (ld *loader) add(ip, dir string, files []*ast.File) {
+	ld.pkgs[ip] = &Package{Path: ip, Dir: dir, Fset: ld.fset, Files: files}
+	ld.order = append(ld.order, ip)
+}
+
+// Import implements types.Importer: local packages come from the loaded
+// set (typecheckAll guarantees dependency order), the rest from the
+// standard library's source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("analysis: import cycle or unchecked package %s", path)
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) typecheckAll() error {
+	// Topological order over local imports.
+	marks := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var order []string
+	var visit func(ip string) error
+	visit = func(ip string) error {
+		switch marks[ip] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", ip)
+		case 2:
+			return nil
+		}
+		marks[ip] = 1
+		for _, dep := range ld.localImports(ip) {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		marks[ip] = 2
+		order = append(order, ip)
+		return nil
+	}
+	sorted := append([]string(nil), ld.order...)
+	sort.Strings(sorted)
+	for _, ip := range sorted {
+		if err := visit(ip); err != nil {
+			return err
+		}
+	}
+	ld.order = order
+
+	for _, ip := range order {
+		pkg := ld.pkgs[ip]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Importer: ld,
+			Error: func(err error) {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			},
+		}
+		tpkg, err := conf.Check(ip, ld.fset, pkg.Files, info)
+		if err != nil && tpkg == nil {
+			return fmt.Errorf("analysis: type-checking %s: %w", ip, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+	}
+	return nil
+}
+
+func (ld *loader) localImports(ip string) []string {
+	pkg := ld.pkgs[ip]
+	seen := map[string]bool{}
+	var deps []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if _, ok := ld.pkgs[p]; ok && !seen[p] {
+				seen[p] = true
+				deps = append(deps, p)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// findModule locates go.mod at or above dir and returns the module root
+// and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolcheck enforces the ownership discipline of repro/internal/wire's
+// pooled buffers (see internal/wire/pool.go):
+//
+//   - every wire.GetWriter / wire.GetReader must be matched by a
+//     PutWriter / PutReader (directly or deferred) on every path out of
+//     the function, unless ownership demonstrably escapes (the value is
+//     returned, stored, sent, or captured by a closure);
+//   - a writer/reader must not be used after its Put;
+//   - values aliasing the pooled buffer — Writer.Bytes, Reader.BytesView,
+//     Reader.BytesSliceView — must not be returned, stored in a field,
+//     or sent on a channel if the owning writer/reader is released in
+//     this function (the alias would dangle once the pool reuses the
+//     buffer). Passing a view as a call argument is fine: callees use it
+//     transiently by convention.
+var Poolcheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "check pooled wire buffer ownership: matched Get/Put, no use after Put, no escaping views",
+	Run:  runPoolcheck,
+}
+
+const wirePkgSuffix = "internal/wire"
+
+type poolKind int
+
+const (
+	poolWriter poolKind = iota
+	poolReader
+)
+
+func (k poolKind) String() string {
+	if k == poolWriter {
+		return "writer"
+	}
+	return "reader"
+}
+
+type poolVar struct {
+	kind     poolKind
+	getPos   token.Pos
+	released bool // Put already executed on this path
+	deferred bool // a deferred Put covers function exit
+}
+
+type poolState struct {
+	vars  map[types.Object]poolVar
+	views map[types.Object]types.Object // view variable -> owning pooled var
+}
+
+type poolChecker struct {
+	pass     *Pass
+	imports  map[string]string
+	reported map[types.Object]bool
+	// everPut lists pooled vars with a textual Put anywhere in the
+	// function; view escapes are dangerous exactly when the owner is
+	// (eventually) released here.
+	everPut map[types.Object]bool
+	// pending queues nested function literals for their own scan.
+	pending []*ast.FuncLit
+}
+
+func runPoolcheck(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		c := &poolChecker{
+			pass:     pass,
+			imports:  fileImports(fn.file),
+			reported: map[types.Object]bool{},
+			everPut:  map[types.Object]bool{},
+		}
+		c.checkBody(fn.decl.Body)
+	}
+	return nil
+}
+
+func (c *poolChecker) checkBody(body *ast.BlockStmt) {
+	c.prescanPuts(body)
+	h := &flowHooks[poolState]{
+		exec:  c.exec,
+		expr:  c.checkExpr,
+		exit:  c.exit,
+		clone: clonePoolState,
+		merge: mergePoolState,
+	}
+	st := poolState{vars: map[types.Object]poolVar{}, views: map[types.Object]types.Object{}}
+	end, term := h.walk(body.List, st)
+	if !term {
+		c.exit(nil, end)
+	}
+	// Nested function literals own whatever they captured; scan their
+	// bodies as independent scopes.
+	for len(c.pending) > 0 {
+		lit := c.pending[0]
+		c.pending = c.pending[1:]
+		c.checkBody(lit.Body)
+	}
+}
+
+// prescanPuts records which variables have any Put call in this scope.
+func (c *poolChecker) prescanPuts(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := calleeRef(c.pass.TypesInfo, c.imports, call); ok &&
+			isWirePkg(pkg) && (name == "PutWriter" || name == "PutReader") && len(call.Args) == 1 {
+			if id := baseIdent(call.Args[0]); id != nil {
+				if obj := objOf(c.pass.TypesInfo, id); obj != nil {
+					c.everPut[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *poolChecker) exec(s ast.Stmt, st poolState) poolState {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assign(s, st)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if st2, handled := c.putCall(call, st, false); handled {
+				return st2
+			}
+		}
+		return c.checkExpr(s.X, st)
+	case *ast.DeferStmt:
+		if st2, handled := c.putCall(s.Call, st, true); handled {
+			return st2
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			return c.deferredLit(lit, st)
+		}
+		return c.checkExpr(s.Call, st)
+	case *ast.GoStmt:
+		return c.checkExpr(s.Call, st)
+	case *ast.SendStmt:
+		st = c.escape(s.Value, st, "sent on a channel")
+		return c.checkExpr(s.Chan, st)
+	case *ast.IncDecStmt:
+		return c.checkExpr(s.X, st)
+	case *ast.RangeStmt:
+		return c.checkExpr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = c.checkExpr(v, st)
+					}
+				}
+			}
+		}
+		return st
+	default:
+		return st
+	}
+}
+
+// putCall handles wire.PutWriter/PutReader; handled=false means the
+// call was something else.
+func (c *poolChecker) putCall(call *ast.CallExpr, st poolState, isDefer bool) (poolState, bool) {
+	pkg, name, ok := calleeRef(c.pass.TypesInfo, c.imports, call)
+	if !ok || !isWirePkg(pkg) || (name != "PutWriter" && name != "PutReader") || len(call.Args) != 1 {
+		return st, false
+	}
+	id := baseIdent(call.Args[0])
+	obj := objOf(c.pass.TypesInfo, id)
+	if obj == nil {
+		return st, true
+	}
+	pv, tracked := st.vars[obj]
+	if !tracked {
+		return st, true
+	}
+	if pv.released {
+		c.pass.Reportf(call.Pos(), "%s released twice (wire.%s after an earlier Put)", pv.kind, name)
+		return st, true
+	}
+	if isDefer {
+		pv.deferred = true
+	} else {
+		if pv.deferred {
+			c.pass.Reportf(call.Pos(), "%s released twice (explicit wire.%s with a deferred Put pending)", pv.kind, name)
+		}
+		pv.released = true
+	}
+	st.vars[obj] = pv
+	return st, true
+}
+
+// deferredLit treats `defer func() { ... PutWriter(w) ... }()` as a
+// deferred release of w; other captured pooled vars transfer ownership.
+func (c *poolChecker) deferredLit(lit *ast.FuncLit, st poolState) poolState {
+	released := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := calleeRef(c.pass.TypesInfo, c.imports, call); ok &&
+			isWirePkg(pkg) && (name == "PutWriter" || name == "PutReader") && len(call.Args) == 1 {
+			if id := baseIdent(call.Args[0]); id != nil {
+				if obj := objOf(c.pass.TypesInfo, id); obj != nil {
+					released[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj, pv := range st.vars {
+		if released[obj] {
+			pv.deferred = true
+			st.vars[obj] = pv
+		}
+	}
+	c.pending = append(c.pending, lit)
+	return st
+}
+
+func (c *poolChecker) assign(s *ast.AssignStmt, st poolState) poolState {
+	// Single-value special forms first: Get, view derivation, alias.
+	// Package-level targets are stores, not local bindings.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		lhsID, _ := s.Lhs[0].(*ast.Ident)
+		lhsObj := objOf(c.pass.TypesInfo, lhsID)
+		if lhsObj != nil && c.pass.Pkg != nil && lhsObj.Parent() == c.pass.Pkg.Scope() {
+			lhsObj = nil
+		}
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if pkg, name, ok := calleeRef(c.pass.TypesInfo, c.imports, call); ok && isWirePkg(pkg) {
+				switch name {
+				case "GetWriter", "GetReader":
+					st = c.checkExpr(call, st)
+					if lhsObj != nil {
+						kind := poolWriter
+						if name == "GetReader" {
+							kind = poolReader
+						}
+						st.vars[lhsObj] = poolVar{kind: kind, getPos: call.Pos()}
+					}
+					return st
+				}
+			}
+			if owner, isView := c.viewCall(call, st); isView {
+				st = c.checkExpr(call, st)
+				if lhsObj != nil {
+					st.views[lhsObj] = owner
+				}
+				return st
+			}
+			if owner, ok := c.detachCall(call, st); ok {
+				// Detach hands the buffer to the caller; the writer no
+				// longer owns pooled storage, so drop tracking.
+				delete(st.vars, owner)
+				return st
+			}
+		}
+		// Alias or view propagation: v := w / v := view.
+		if rhsID, ok := s.Rhs[0].(*ast.Ident); ok && lhsObj != nil {
+			if rhsObj := objOf(c.pass.TypesInfo, rhsID); rhsObj != nil {
+				if pv, tracked := st.vars[rhsObj]; tracked {
+					if pv.released {
+						c.pass.Reportf(rhsID.Pos(), "use of %s after wire.Put", pv.kind)
+					}
+					// Ownership follows the new name.
+					st.vars[lhsObj] = pv
+					delete(st.vars, rhsObj)
+					return st
+				}
+				if owner, isView := st.views[rhsObj]; isView {
+					st.views[lhsObj] = owner
+					return st
+				}
+			}
+		}
+	}
+	// Stores into fields/indexes/package vars escape their RHS.
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		if id, plain := lhs.(*ast.Ident); plain {
+			obj := objOf(c.pass.TypesInfo, id)
+			if obj != nil && c.pass.Pkg != nil && obj.Parent() == c.pass.Pkg.Scope() {
+				st = c.escape(s.Rhs[i], st, "stored") // package-level variable
+			}
+			continue
+		}
+		st = c.escape(s.Rhs[i], st, "stored")
+	}
+	for _, r := range s.Rhs {
+		st = c.checkExpr(r, st)
+	}
+	return st
+}
+
+// viewCall reports whether call returns a slice aliasing a tracked
+// pooled buffer: Writer.Bytes (zero-copy by contract) and
+// Reader.BytesView / BytesSliceView. Reader.Bytes copies and is safe.
+func (c *poolChecker) viewCall(call *ast.CallExpr, st poolState) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := objOf(c.pass.TypesInfo, id)
+	if obj == nil {
+		return nil, false
+	}
+	pv, tracked := st.vars[obj]
+	if !tracked {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Bytes":
+		return obj, pv.kind == poolWriter
+	case "BytesView", "BytesSliceView":
+		return obj, pv.kind == poolReader
+	}
+	return nil, false
+}
+
+// detachCall recognises w.Detach() on a tracked writer.
+func (c *poolChecker) detachCall(call *ast.CallExpr, st poolState) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Detach" {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := objOf(c.pass.TypesInfo, id)
+	if obj == nil {
+		return nil, false
+	}
+	_, tracked := st.vars[obj]
+	return obj, tracked
+}
+
+// escape handles a value leaving the function (return, channel send,
+// store into a field or index). Pooled vars transfer ownership out;
+// views of locally released owners are reported.
+func (c *poolChecker) escape(e ast.Expr, st poolState, how string) poolState {
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := objOf(c.pass.TypesInfo, e)
+			if obj == nil {
+				return
+			}
+			if pv, tracked := st.vars[obj]; tracked {
+				if pv.released {
+					c.pass.Reportf(e.Pos(), "use of %s after wire.Put", pv.kind)
+				}
+				delete(st.vars, obj) // ownership escapes with the value
+				return
+			}
+			if owner, isView := st.views[obj]; isView {
+				c.reportViewEscape(e.Pos(), owner, st, how)
+			}
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				walk(el)
+			}
+		case *ast.KeyValueExpr:
+			walk(e.Value)
+		case *ast.CallExpr:
+			// A call's RESULT is the callee's responsibility (results
+			// wrapping views are copies by convention) — but the call
+			// being itself a view accessor escapes the alias directly,
+			// and Detach hands the buffer out legitimately.
+			if owner, isView := c.viewCall(e, st); isView {
+				c.reportViewEscape(e.Pos(), owner, st, how)
+			}
+			if owner, isDetach := c.detachCall(e, st); isDetach {
+				delete(st.vars, owner)
+			}
+		}
+	}
+	walk(e)
+	return st
+}
+
+func (c *poolChecker) reportViewEscape(pos token.Pos, owner types.Object, st poolState, how string) {
+	pv := st.vars[owner]
+	if pv.released || pv.deferred || c.everPut[owner] {
+		c.pass.Reportf(pos, "view aliasing a pooled %s's buffer is %s but the %s is released in this function",
+			pv.kind, how, pv.kind)
+	}
+}
+
+// checkExpr scans an expression for uses of released buffers and for
+// closures capturing pooled vars (ownership transfer).
+func (c *poolChecker) checkExpr(e ast.Expr, st poolState) poolState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			for obj, pv := range st.vars {
+				if capturesObj(c.pass.TypesInfo, n, obj) {
+					if pv.released {
+						c.pass.Reportf(n.Pos(), "closure captures %s after wire.Put", pv.kind)
+					}
+					delete(st.vars, obj)
+				}
+			}
+			c.pending = append(c.pending, n)
+			return false
+		case *ast.Ident:
+			obj := objOf(c.pass.TypesInfo, n)
+			if obj == nil {
+				return true
+			}
+			if pv, tracked := st.vars[obj]; tracked && pv.released && !c.reported[obj] {
+				c.reported[obj] = true
+				c.pass.Reportf(n.Pos(), "use of %s after wire.Put", pv.kind)
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// exit runs at each return (ret != nil) and at an implicit fall-off end
+// of the function (ret == nil): remaining live buffers leak.
+func (c *poolChecker) exit(ret *ast.ReturnStmt, st poolState) {
+	if ret != nil {
+		for _, r := range ret.Results {
+			st = c.escape(r, st, "returned")
+		}
+	}
+	for obj, pv := range st.vars {
+		if pv.released || pv.deferred || c.reported[obj] {
+			continue
+		}
+		c.reported[obj] = true
+		c.pass.Reportf(pv.getPos, "pooled %s is not released on every path (missing wire.Put%s)",
+			pv.kind, map[poolKind]string{poolWriter: "Writer", poolReader: "Reader"}[pv.kind])
+	}
+}
+
+func clonePoolState(st poolState) poolState {
+	nv := make(map[types.Object]poolVar, len(st.vars))
+	for k, v := range st.vars {
+		nv[k] = v
+	}
+	nw := make(map[types.Object]types.Object, len(st.views))
+	for k, v := range st.views {
+		nw[k] = v
+	}
+	return poolState{vars: nv, views: nw}
+}
+
+// mergePoolState joins two branch exits: a buffer is tracked if either
+// branch tracks it; released/deferred if either says so (the stricter
+// "released on one path only" cases surface as use-after-put or leak on
+// the other path during that branch's own walk).
+func mergePoolState(a, b poolState) poolState {
+	for k, v := range b.vars {
+		if av, ok := a.vars[k]; ok {
+			av.released = av.released || v.released
+			av.deferred = av.deferred || v.deferred
+			a.vars[k] = av
+		} else {
+			a.vars[k] = v
+		}
+	}
+	for k, v := range b.views {
+		a.views[k] = v
+	}
+	return a
+}
+
+// capturesObj reports whether the function literal references obj.
+func capturesObj(info *types.Info, lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isWirePkg(path string) bool {
+	return path == wirePkgSuffix || len(path) > len(wirePkgSuffix) && path[len(path)-len(wirePkgSuffix)-1] == '/' && path[len(path)-len(wirePkgSuffix):] == wirePkgSuffix
+}

@@ -1,0 +1,87 @@
+// Package lockcheck holds seeded violations and allowed patterns for
+// the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	hits  uint64 // guarded by mu
+	calls uint64 // guarded by mu
+	name  string // immutable after construction, not annotated
+}
+
+// unguardedWrite touches a guarded field without the lock.
+func (c *counter) unguardedWrite() {
+	c.hits++ // want "guarded by mu but accessed without holding it"
+}
+
+// unguardedReadAfterUnlock releases too early.
+func (c *counter) unguardedReadAfterUnlock() uint64 {
+	c.mu.Lock()
+	h := c.hits
+	c.mu.Unlock()
+	return h + c.calls // want "guarded by mu but accessed without holding it"
+}
+
+// lostLockInBranch holds the lock on only one of the joined paths.
+func (c *counter) lostLockInBranch(flush bool) {
+	c.mu.Lock()
+	if flush {
+		c.mu.Unlock()
+	}
+	c.calls++ // want "guarded by mu but accessed without holding it"
+	if !flush {
+		c.mu.Unlock()
+	}
+}
+
+// --- near misses: correct locking in the same shapes ---
+
+// okPlainLock is the standard critical section.
+func (c *counter) okPlainLock() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// okDeferredUnlock holds to the end of the function.
+func (c *counter) okDeferredUnlock() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	return c.hits
+}
+
+// okEarlyReturnBranch unlocks and returns; the fallthrough path still
+// holds the lock (the terminated branch must not poison the join).
+func (c *counter) okEarlyReturnBranch(limit uint64) uint64 {
+	c.mu.Lock()
+	if c.hits > limit {
+		c.mu.Unlock()
+		return 0
+	}
+	h := c.hits
+	c.mu.Unlock()
+	return h
+}
+
+// okLockedSuffix asserts the caller holds the lock, per the repo
+// convention.
+func (c *counter) bumpLocked() {
+	c.hits++
+	c.calls++
+}
+
+// okUnannotatedField: name carries no annotation.
+func (c *counter) okUnannotatedField() string {
+	return c.name
+}
+
+// okSuppressed documents a deliberate pre-concurrency exception.
+//
+//lint:ignore lockcheck constructor-time access before any goroutine exists
+func initCounter(c *counter) {
+	c.hits = 0
+	c.calls = 0
+}

@@ -1,0 +1,124 @@
+// Package poolcheck holds seeded violations and allowed patterns for
+// the poolcheck analyzer.
+package poolcheck
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+var sink []byte
+var ch = make(chan []byte, 1)
+
+// leakOnErrorPath: the writer is not released when encode fails.
+func leakOnErrorPath(encode func(*wire.Writer) error) ([]byte, error) {
+	w := wire.GetWriter() // want "pooled writer is not released on every path"
+	if err := encode(w); err != nil {
+		return nil, err // leaks w
+	}
+	out := append([]byte(nil), w.Bytes()...)
+	wire.PutWriter(w)
+	return out, nil
+}
+
+// useAfterPut: the buffer may be reused by another goroutine already.
+func useAfterPut() []byte {
+	w := wire.GetWriter()
+	w.Uvarint(7)
+	wire.PutWriter(w)
+	return append([]byte(nil), w.Bytes()...) // want "use of writer after wire.Put"
+}
+
+// doublePut: releasing twice poisons the pool.
+func doublePut() {
+	w := wire.GetWriter()
+	w.Uvarint(7)
+	wire.PutWriter(w)
+	wire.PutWriter(w) // want "released twice"
+}
+
+// viewEscapesRelease: the view aliases the pooled buffer, which is
+// recycled by the deferred Put before the caller reads the result.
+func viewEscapesRelease(frame []byte) []byte {
+	r := wire.GetReader(frame)
+	defer wire.PutReader(r)
+	return r.BytesView() // want "view aliasing a pooled reader"
+}
+
+// viewStoredAfterPut: storing the alias outlives the release.
+func viewStoredAfterPut(frame []byte) {
+	r := wire.GetReader(frame)
+	v := r.BytesView()
+	wire.PutReader(r)
+	sink = v // want "view aliasing a pooled reader"
+}
+
+// viewSentAfterRelease: channel send publishes the alias.
+func viewSentAfterRelease(frame []byte) {
+	r := wire.GetReader(frame)
+	defer wire.PutReader(r)
+	ch <- r.BytesView() // want "view aliasing a pooled reader"
+}
+
+// --- near misses: all of these follow the ownership rules ---
+
+// okDeferredPut covers every path with one deferred release.
+func okDeferredPut(encode func(*wire.Writer) error) ([]byte, error) {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encode(w); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// okPutOnEachPath releases explicitly on both the error and the
+// success path.
+func okPutOnEachPath(encode func(*wire.Writer) error) ([]byte, error) {
+	w := wire.GetWriter()
+	if err := encode(w); err != nil {
+		wire.PutWriter(w)
+		return nil, err
+	}
+	out := append([]byte(nil), w.Bytes()...)
+	wire.PutWriter(w)
+	return out, nil
+}
+
+// okViewAsArgument: passing a view to a callee is transient use by
+// convention; only returns, stores, and sends escape.
+func okViewAsArgument(frame []byte, deliver func([]byte) error) error {
+	r := wire.GetReader(frame)
+	defer wire.PutReader(r)
+	return deliver(r.BytesView())
+}
+
+// okCopyEscapes: Bytes() on the reader copies, and append copies the
+// writer's view before the Put.
+func okCopyEscapes(frame []byte) []byte {
+	r := wire.GetReader(frame)
+	defer wire.PutReader(r)
+	return r.Bytes()
+}
+
+// okDetach transfers the buffer out of the pool; no Put is owed.
+func okDetach(frame []byte) []byte {
+	w := wire.GetWriter()
+	w.Bytes_(frame)
+	return w.Detach()
+}
+
+// okReaderLoop mirrors the verify-in-a-loop pattern from core/types.go.
+func okReaderLoop(frames [][]byte, check func([]byte) error) error {
+	for _, f := range frames {
+		w := wire.GetWriter()
+		w.Bytes_(f)
+		err := check(w.Bytes())
+		wire.PutWriter(w)
+		if err != nil {
+			return err
+		}
+	}
+	return errors.New("no frame matched")
+}

@@ -1,0 +1,36 @@
+// Package wire is a minimal stub of repro/internal/wire for analyzer
+// golden tests: same pooled API shape, trivial bodies.
+package wire
+
+type Writer struct{ buf []byte }
+
+func GetWriter() *Writer      { return &Writer{} }
+func PutWriter(w *Writer)     {}
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+func (w *Writer) Uvarint(v uint64) { w.buf = append(w.buf, byte(v)) }
+func (w *Writer) Bytes_(b []byte)  { w.buf = append(w.buf, b...) }
+func (w *Writer) String_(s string) { w.buf = append(w.buf, s...) }
+func (w *Writer) Bytes() []byte    { return w.buf }
+func (w *Writer) Detach() []byte   { b := w.buf; w.buf = nil; return b }
+
+type Reader struct{ buf []byte }
+
+func GetReader(b []byte) *Reader { return &Reader{buf: b} }
+func PutReader(r *Reader)        {}
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+func (r *Reader) Uvarint() uint64          { return uint64(len(r.buf)) }
+func (r *Reader) Bytes() []byte            { return append([]byte(nil), r.buf...) }
+func (r *Reader) BytesView() []byte        { return r.buf }
+func (r *Reader) BytesSliceView() [][]byte { return [][]byte{r.buf} }
+func (r *Reader) Done() error              { return nil }
+
+// EncodeFrame mirrors the real helper: borrow a writer, encode, copy.
+func EncodeFrame(fn func(*Writer)) []byte {
+	w := GetWriter()
+	fn(w)
+	out := append([]byte(nil), w.Bytes()...)
+	PutWriter(w)
+	return out
+}

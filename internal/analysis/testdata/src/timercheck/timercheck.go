@@ -1,0 +1,86 @@
+// Package timercheck holds seeded violations and allowed patterns for
+// the timercheck analyzer.
+package timercheck
+
+import "time"
+
+// afterInLoop allocates one timer per iteration; none is collected
+// before it fires.
+func afterInLoop(work chan int, every time.Duration) {
+	for {
+		select {
+		case w := <-work:
+			_ = w
+		case <-time.After(every): // want "time.After in a loop"
+			return
+		}
+	}
+}
+
+// afterInRange has the same defect in a range loop.
+func afterInRange(jobs []func(), gap time.Duration) {
+	for _, j := range jobs {
+		<-time.After(gap) // want "time.After in a loop"
+		j()
+	}
+}
+
+// timerNeverStopped leaks the timer when the work channel wins.
+func timerNeverStopped(work chan int, timeout time.Duration) bool {
+	t := time.NewTimer(timeout) // want "never stopped"
+	select {
+	case <-work:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// --- near misses ---
+
+// okAfterOutsideLoop: a one-shot time.After is fine.
+func okAfterOutsideLoop(work chan int, timeout time.Duration) bool {
+	select {
+	case <-work:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// okDeferredStop is the pattern the repo uses on hot paths.
+func okDeferredStop(work chan int, timeout time.Duration) bool {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-work:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// okReusedTimerInLoop stops and resets one timer across iterations.
+func okReusedTimerInLoop(work chan int, every time.Duration) {
+	t := time.NewTimer(every)
+	defer t.Stop()
+	for {
+		select {
+		case w := <-work:
+			if w < 0 {
+				return
+			}
+		case <-t.C:
+		}
+		t.Reset(every)
+	}
+}
+
+// okHandedOff transfers ownership of the returned timer to the caller;
+// the local ticker is still a leak.
+func okHandedOff(every time.Duration) *time.Timer {
+	t := time.NewTicker(every) // want "time.NewTicker is never stopped"
+	_ = t
+	tt := time.NewTimer(every)
+	return tt
+}

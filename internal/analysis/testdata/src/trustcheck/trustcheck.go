@@ -1,0 +1,132 @@
+// Package trustcheck holds seeded violations and allowed patterns for
+// the trustcheck analyzer: decoded wire input must be verified before
+// it reaches Apply or replica state.
+package trustcheck
+
+import "errors"
+
+type Stamp struct {
+	Version uint64
+	Sig     []byte
+}
+
+func (s *Stamp) Verify(pubs [][]byte) error {
+	if len(s.Sig) == 0 {
+		return errors.New("unsigned")
+	}
+	return nil
+}
+
+type Update struct {
+	Ops   [][]byte
+	Stamp Stamp
+}
+
+type Store struct{ version uint64 }
+
+func (st *Store) Apply(op []byte) error             { st.version++; return nil }
+func (st *Store) ApplyAt(v uint64, op []byte) error { st.version = v; return nil }
+func (st *Store) ValidateOp(op []byte) error        { return nil }
+
+type Replica struct {
+	store     *Store
+	lastStamp Stamp
+	pubs      [][]byte
+}
+
+func DecodeBatchUpdate(b []byte) (Update, error) {
+	return Update{Ops: [][]byte{b}}, nil
+}
+
+func DecodeStamp(b []byte) (Stamp, error) {
+	return Stamp{Sig: b}, nil
+}
+
+// applyBeforeVerify feeds decoded ops into the store with no signature
+// check at all.
+func (r *Replica) applyBeforeVerify(frame []byte) error {
+	bu, err := DecodeBatchUpdate(frame)
+	if err != nil {
+		return err
+	}
+	for _, op := range bu.Ops {
+		if err := r.store.Apply(op); err != nil { // want "unverified wire-decoded value"
+			return err
+		}
+	}
+	return nil
+}
+
+// storeBeforeVerify retains the decoded stamp before checking it.
+func (r *Replica) storeBeforeVerify(frame []byte) error {
+	stamp, err := DecodeStamp(frame)
+	if err != nil {
+		return err
+	}
+	r.lastStamp = stamp // want "unverified wire-decoded value"
+	return stamp.Verify(r.pubs)
+}
+
+// verifyWrongOrder applies first, verifies after: the damage is done.
+func (r *Replica) verifyWrongOrder(frame []byte) error {
+	bu, err := DecodeBatchUpdate(frame)
+	if err != nil {
+		return err
+	}
+	if err := r.store.ApplyAt(bu.Stamp.Version, bu.Ops[0]); err != nil { // want "unverified wire-decoded value"
+		return err
+	}
+	return bu.Stamp.Verify(r.pubs)
+}
+
+// --- near misses: verification gates the sink ---
+
+// okVerifyThenApply is the canonical ingest shape.
+func (r *Replica) okVerifyThenApply(frame []byte) error {
+	bu, err := DecodeBatchUpdate(frame)
+	if err != nil {
+		return err
+	}
+	if err := bu.Stamp.Verify(r.pubs); err != nil {
+		return err
+	}
+	for _, op := range bu.Ops {
+		if err := r.store.Apply(op); err != nil {
+			return err
+		}
+	}
+	r.lastStamp = bu.Stamp
+	return nil
+}
+
+// okValidateGate mirrors the auditor: ValidateOp sanitizes the ops.
+func (r *Replica) okValidateGate(frame []byte) error {
+	bu, err := DecodeBatchUpdate(frame)
+	if err != nil {
+		return err
+	}
+	if err := r.store.ValidateOp(bu.Ops[0]); err != nil {
+		return err
+	}
+	return r.store.Apply(bu.Ops[0])
+}
+
+// okLocalAssembly builds a local batch from decoded frames; locals are
+// not replica state, and the verified stamp gates the apply.
+func (r *Replica) okLocalAssembly(frames [][]byte) error {
+	stamps := make([]Stamp, 0, len(frames))
+	for _, f := range frames {
+		s, err := DecodeStamp(f)
+		if err != nil {
+			return err
+		}
+		stamps = append(stamps, s)
+	}
+	for i := range stamps {
+		if err := stamps[i].Verify(r.pubs); err != nil {
+			return err
+		}
+	}
+	r.lastStamp = stamps[len(stamps)-1]
+	return nil
+}

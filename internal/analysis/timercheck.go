@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Timercheck flags the two timer-leak bug classes this repo has hit
+// before (see the batch-timer notes in internal/core):
+//
+//   - time.After inside a loop: each iteration allocates a timer that
+//     is not collected until it fires, which on a hot path pins one
+//     timer per in-flight operation. Use time.NewTimer + Stop (or a
+//     single reused timer) instead.
+//   - time.NewTimer / time.NewTicker whose result has no reachable
+//     Stop in the same function: leaks the timer unless ownership
+//     escapes (returned, stored, or passed on — then the new owner is
+//     responsible).
+var Timercheck = &Analyzer{
+	Name: "timercheck",
+	Doc:  "flag time.After in loops and NewTimer/NewTicker without a reachable Stop",
+	Run:  runTimercheck,
+}
+
+func runTimercheck(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		imports := fileImports(fn.file)
+		checkAfterInLoops(pass, imports, fn.decl.Body, 0)
+		checkTimerStop(pass, imports, fn.decl.Body)
+	}
+	return nil
+}
+
+// checkAfterInLoops reports time.After calls whose enclosing loop depth
+// is positive. Function literals reset the depth: a closure that loops
+// is checked as its own scope when walked below.
+func checkAfterInLoops(pass *Pass, imports map[string]string, n ast.Node, depth int) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.ForStmt:
+			if node.Init != nil {
+				checkAfterInLoops(pass, imports, node.Init, depth)
+			}
+			checkAfterInLoops(pass, imports, node.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			checkAfterInLoops(pass, imports, node.Body, depth+1)
+			return false
+		case *ast.FuncLit:
+			checkAfterInLoops(pass, imports, node.Body, 0)
+			return false
+		case *ast.CallExpr:
+			if pkg, name, ok := calleeRef(pass.TypesInfo, imports, node); ok &&
+				pkg == "time" && name == "After" && depth > 0 {
+				pass.Reportf(node.Pos(), "time.After in a loop allocates a timer per iteration; use time.NewTimer with Stop/Reset")
+			}
+		}
+		return true
+	})
+}
+
+// checkTimerStop reports t := time.NewTimer/NewTicker(...) with no
+// reachable t.Stop() in the function, unless t escapes.
+func checkTimerStop(pass *Pass, imports map[string]string, body *ast.BlockStmt) {
+	type timer struct {
+		pos  ast.Expr // the NewTimer call, for reporting
+		kind string
+	}
+	timers := map[types.Object]timer{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := calleeRef(pass.TypesInfo, imports, call)
+		if !ok || pkg != "time" || (name != "NewTimer" && name != "NewTicker") {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := objOf(pass.TypesInfo, id); obj != nil {
+			timers[obj] = timer{pos: call, kind: "time." + name}
+		}
+		return true
+	})
+	if len(timers) == 0 {
+		return
+	}
+	stopped := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := objOf(pass.TypesInfo, id); obj != nil {
+						stopped[obj] = true
+					}
+				}
+			}
+			// A timer passed as an argument changes owners.
+			for _, a := range n.Args {
+				if id, ok := a.(*ast.Ident); ok {
+					if obj := objOf(pass.TypesInfo, id); obj != nil {
+						if _, tracked := timers[obj]; tracked {
+							escaped[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := r.(*ast.Ident); ok {
+					if obj := objOf(pass.TypesInfo, id); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored into a field or index: someone else stops it.
+			for i, lhs := range n.Lhs {
+				if _, plain := lhs.(*ast.Ident); plain || i >= len(n.Rhs) {
+					continue
+				}
+				if id, ok := n.Rhs[i].(*ast.Ident); ok {
+					if obj := objOf(pass.TypesInfo, id); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, t := range timers {
+		if !stopped[obj] && !escaped[obj] {
+			pass.Reportf(t.pos.Pos(), "%s is never stopped in this function; add a (deferred) Stop or hand the timer off", t.kind)
+		}
+	}
+}

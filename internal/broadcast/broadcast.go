@@ -68,19 +68,20 @@ type Member struct {
 	dialer rpc.Dialer
 
 	mu            sync.Mutex
-	log           map[uint64][]byte
-	nextSeq       uint64            // sequencer: next slot to assign
-	delivered     uint64            // highest contiguously delivered seq
-	delivering    bool              // a drainer is inside tryDeliver's loop
-	truncated     uint64            // archive floor: seqs below this were dropped
-	peerDelivered map[string]uint64 // sequencer: peers' delivered marks (Hello replies)
-	stableSeq     uint64            // min delivered across live members (via Hello)
-	view          int               // index into Peers of the current sequencer
-	suspected     map[string]bool
-	lastHB        time.Time
-	stopped       bool
+	log           map[uint64][]byte // guarded by mu
+	nextSeq       uint64            // guarded by mu; sequencer: next slot to assign
+	delivered     uint64            // guarded by mu; highest contiguously delivered seq
+	delivering    bool              // guarded by mu; a drainer is inside tryDeliver's loop
+	truncated     uint64            // guarded by mu; archive floor: seqs below this were dropped
+	peerDelivered map[string]uint64 // guarded by mu; sequencer: peers' delivered marks (Hello replies)
+	stableSeq     uint64            // guarded by mu; min delivered across live members (via Hello)
+	view          int               // guarded by mu; index into Peers of the current sequencer
+	suspected     map[string]bool   // guarded by mu
+	lastHB        time.Time         // guarded by mu
+	stopped       bool              // guarded by mu
 
-	// deliveries counts messages handed to Deliver (stats/tests).
+	// deliveries counts messages handed to Deliver (stats/tests);
+	// guarded by mu.
 	deliveries uint64
 }
 
@@ -453,7 +454,7 @@ func (m *Member) acceptCommit(from string, view int, seq uint64, msg []byte) {
 	if _, dup := m.log[seq]; !dup && seq > m.delivered {
 		m.log[seq] = msg
 	}
-	gap := m.delivered+1 < seq && m.missingBelow(seq)
+	gap := m.delivered+1 < seq && m.missingBelowLocked(seq)
 	m.mu.Unlock()
 	if gap {
 		m.fetchRange(from, seq)
@@ -461,7 +462,7 @@ func (m *Member) acceptCommit(from string, view int, seq uint64, msg []byte) {
 	m.tryDeliver()
 }
 
-func (m *Member) missingBelow(seq uint64) bool {
+func (m *Member) missingBelowLocked(seq uint64) bool {
 	for s := m.delivered + 1; s < seq; s++ {
 		if _, ok := m.log[s]; !ok {
 			return true
@@ -572,18 +573,18 @@ func (m *Member) tryDeliver() {
 		m.deliveries++
 		delete(m.log, next) // delivered entries are retained by the app
 		// Keep a copy for serving fetches to lagging peers.
-		m.archive(next, msg)
+		m.archiveLocked(next, msg)
 		m.mu.Unlock()
 		m.cfg.Deliver(next, msg)
 		m.mu.Lock()
 	}
 }
 
-// archive keeps delivered messages for gap recovery. Entries are kept in
-// the log map under their sequence number (re-inserted after delivery
-// bookkeeping) until the hosting node truncates them after stability
-// (TruncateBelow).
-func (m *Member) archive(seq uint64, msg []byte) {
+// archiveLocked keeps delivered messages for gap recovery. Entries are
+// kept in the log map under their sequence number (re-inserted after
+// delivery bookkeeping) until the hosting node truncates them after
+// stability (TruncateBelow). Caller holds m.mu.
+func (m *Member) archiveLocked(seq uint64, msg []byte) {
 	if seq < m.truncated {
 		return
 	}

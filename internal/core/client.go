@@ -36,7 +36,7 @@ type ClientStats struct {
 	Resetups        uint64 // full setup redone (master crash)
 	WritesOK        uint64
 	WritesFailed    uint64
-	KMismatch uint64 // k-slave variant: answers disagreed (§4)
+	KMismatch       uint64 // k-slave variant: answers disagreed (§4)
 	// StampCacheHits/Misses count verified-stamp cache consultations:
 	// between content updates every read reply carries the same master
 	// stamp, so hits replace full signature verifications.

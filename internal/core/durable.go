@@ -54,6 +54,8 @@ func encodeWALRecord(seq, first uint64, ops [][]byte, stamp VersionStamp) []byte
 // committed after it are replayed on top. Called from NewMaster before
 // any RPC can arrive, so no locking is needed. Delivery resumes at the
 // recovered anchor; Start's recoverGap closes whatever remains.
+//
+//lint:ignore lockcheck runs in NewMaster before any concurrency starts
 func (m *Master) openDurable() error {
 	if err := os.MkdirAll(m.cfg.DataDir, 0o755); err != nil {
 		return err
@@ -85,6 +87,8 @@ func (m *Master) openDurable() error {
 // loadSnapshotFile restores the store from the checkpoint snapshot file,
 // verifying this master's own stamp over the snapshot bytes (the file is
 // written by this master, so its own signature is the integrity check).
+//
+//lint:ignore lockcheck called only from openDurable, before concurrency
 func (m *Master) loadSnapshotFile(data []byte) error {
 	r := wire.NewReader(data)
 	magic := r.String()
@@ -125,6 +129,8 @@ func (m *Master) loadSnapshotFile(data []byte) error {
 // snapshot already covers are skipped; a record that neither continues
 // the store nor is covered marks a damaged directory and fails loud (a
 // silently skipped batch would fork this replica from the cluster).
+//
+//lint:ignore lockcheck called only from openDurable, before concurrency
 func (m *Master) replayWALRecord(payload []byte) error {
 	r := wire.NewReader(payload)
 	seq := r.Uvarint()

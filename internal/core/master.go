@@ -160,33 +160,33 @@ type Master struct {
 	bcast *broadcast.Member
 
 	mu          sync.Mutex
-	store       *store.Store
-	baseVersion uint64              // floor of the retained log (initial version, then advanced by checkpoints)
-	log         []OpRecord          // log[v-baseVersion-1] = committed op + evidence for v
-	acks        map[string]slaveAck // slave addr -> newest acknowledged version
-	marks       []versionMark       // batch boundaries: version -> (digest, broadcast seq)
-	checkpoint  Checkpoint          // most recent stability checkpoint recorded
-	snap        *ckptSnapshot       // retained snapshot for snapshot-first sync
-	snapRefresh bool                // a snapshot refresh is signing off-lock
-	lastMark    versionMark         // version + broadcast seq of the newest applied batch
-	lastCommit  time.Time
-	nextWriteAt time.Time
-	batchQueue  []batchWaiter // admitted writes awaiting the next flush
-	batchGen    uint64        // flush generation (dedups timer flushes)
-	timerArmed  bool          // a timeout flush is scheduled for the open batch
-	timerGen    uint64        // generation the armed timer belongs to
-	arrivalEWMA time.Duration // smoothed write inter-arrival gap (adaptive flush)
-	lastArrival time.Time     // previous write's arrival (adaptive flush)
-	slaves      []slaveEntry
-	clients     map[string]*clientEntry // key: client pub
-	peerSlaves  map[string][]slaveEntry // other masters' slave sets
-	adopted     map[string]bool         // dead masters already redistributed
-	excluded    map[string]bool         // excluded slave pubs
-	rrNext      int                     // round-robin cursor for assignment
-	pending     map[string]*sim.Promise // write id -> commit promise (sim)
-	pendingCh   map[string]chan uint64  // write id -> commit channel (real)
-	stats       MasterStats
-	stopped     bool
+	store       *store.Store            // guarded by mu
+	baseVersion uint64                  // guarded by mu; floor of the retained log (initial version, then advanced by checkpoints)
+	log         []OpRecord              // guarded by mu; log[v-baseVersion-1] = committed op + evidence for v
+	acks        map[string]slaveAck     // guarded by mu; slave addr -> newest acknowledged version
+	marks       []versionMark           // guarded by mu; batch boundaries: version -> (digest, broadcast seq)
+	checkpoint  Checkpoint              // guarded by mu; most recent stability checkpoint recorded
+	snap        *ckptSnapshot           // guarded by mu; retained snapshot for snapshot-first sync
+	snapRefresh bool                    // guarded by mu; a snapshot refresh is signing off-lock
+	lastMark    versionMark             // guarded by mu; version + broadcast seq of the newest applied batch
+	lastCommit  time.Time               // guarded by mu
+	nextWriteAt time.Time               // guarded by mu
+	batchQueue  []batchWaiter           // guarded by mu; admitted writes awaiting the next flush
+	batchGen    uint64                  // guarded by mu; flush generation (dedups timer flushes)
+	timerArmed  bool                    // guarded by mu; a timeout flush is scheduled for the open batch
+	timerGen    uint64                  // guarded by mu; generation the armed timer belongs to
+	arrivalEWMA time.Duration           // guarded by mu; smoothed write inter-arrival gap (adaptive flush)
+	lastArrival time.Time               // guarded by mu; previous write's arrival (adaptive flush)
+	slaves      []slaveEntry            // guarded by mu
+	clients     map[string]*clientEntry // guarded by mu; key: client pub
+	peerSlaves  map[string][]slaveEntry // guarded by mu; other masters' slave sets
+	adopted     map[string]bool         // guarded by mu; dead masters already redistributed
+	excluded    map[string]bool         // guarded by mu; excluded slave pubs
+	rrNext      int                     // guarded by mu; round-robin cursor for assignment
+	pending     map[string]*sim.Promise // guarded by mu; write id -> commit promise (sim)
+	pendingCh   map[string]chan uint64  // guarded by mu; write id -> commit channel (real)
+	stats       MasterStats             // guarded by mu
+	stopped     bool                    // guarded by mu
 
 	// Durable state (DataDir set; see durable.go). walMu serializes the
 	// log file operations — the delivery drainer appends while the
@@ -1343,8 +1343,9 @@ func (m *Master) handleSync(body []byte) ([]byte, error) {
 		// History below the retained base is not replayable and this
 		// caller cannot accept a snapshot; checkpoint-aware slaves send
 		// v3 and never see this error.
+		base := m.baseVersion
 		m.mu.Unlock()
-		return nil, fmt.Errorf("core: sync from version %d predates base %d", from, m.baseVersion)
+		return nil, fmt.Errorf("core: sync from version %d predates base %d", from, base)
 	}
 	var recs []OpRecord
 	if cur >= from {

@@ -59,10 +59,10 @@ type Slave struct {
 	rng *rand.Rand
 
 	mu        sync.Mutex
-	store     *store.Store
-	lastStamp VersionStamp
-	syncing   bool // single-flight: at most one syncFrom in progress
-	stats     SlaveStats
+	store     *store.Store // guarded by mu
+	lastStamp VersionStamp // guarded by mu
+	syncing   bool         // guarded by mu; single-flight: at most one syncFrom in progress
+	stats     SlaveStats   // guarded by mu
 
 	stamps *stampCache // verified-stamp cache (amortizes repeat Verify)
 }

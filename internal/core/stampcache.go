@@ -33,12 +33,12 @@ const defaultStampCacheSize = 256
 // concurrent use.
 type stampCache struct {
 	mu   sync.Mutex
-	m    map[cryptoutil.Digest]struct{}
-	ring []cryptoutil.Digest
-	pos  int
-	size int
+	m    map[cryptoutil.Digest]struct{} // guarded by mu
+	ring []cryptoutil.Digest            // guarded by mu
+	pos  int                            // guarded by mu
+	size int                            // guarded by mu
 
-	hits, misses uint64
+	hits, misses uint64 // guarded by mu
 }
 
 func newStampCache(size int) *stampCache {

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// TestHandleSyncPredatesBaseLockedRead exercises the error path where a
+// legacy (proto < 2) sync request predates the retained base. The base
+// version quoted in the error must be captured under m.mu: a concurrent
+// checkpoint advances baseVersion, and an unlocked read is a data race
+// per the memory model and can quote a base the caller was never
+// compared against. Regression test for a repllint lockcheck finding;
+// run under -race in `make race`.
+func TestHandleSyncPredatesBaseLockedRead(t *testing.T) {
+	m := &Master{store: store.New(), baseVersion: 5}
+	body := wire.EncodeFrame(func(w *wire.Writer) { w.Uvarint(1) })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.mu.Lock()
+			m.baseVersion++ // checkpoint truncation racing the sync
+			m.mu.Unlock()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_, err := m.handleSync(body)
+		if err == nil {
+			t.Fatal("expected predates-base error for from=1")
+		}
+		if !strings.Contains(err.Error(), "predates base") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

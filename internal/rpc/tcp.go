@@ -98,18 +98,20 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		r := wire.NewReader(payload)
+		r := wire.GetReader(payload)
 		id := r.Uvarint()
 		kind := r.Byte()
 		method := r.String()
-		body := r.Bytes()
-		if r.Done() != nil || kind != frameRequest {
+		body := r.Bytes() // copies: the handler goroutine outlives the reader
+		rerr := r.Done()
+		wire.PutReader(r)
+		if rerr != nil || kind != frameRequest {
 			return // protocol violation: drop the connection
 		}
 		// Handle concurrently: one slow request must not block the pipe.
 		go func() {
 			respBody, herr := s.h(from, method, body)
-			w := wire.NewWriter(len(respBody) + 32)
+			w := wire.GetWriter()
 			w.Uvarint(id)
 			w.Byte(frameResponse)
 			if herr != nil {
@@ -119,8 +121,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			}
 			w.Bytes_(respBody)
 			wmu.Lock()
-			defer wmu.Unlock()
 			writeFrame(conn, w.Bytes())
+			wmu.Unlock()
+			wire.PutWriter(w)
 		}()
 	}
 }
@@ -211,12 +214,14 @@ func (c *tcpConn) readLoop() {
 			c.fail(err)
 			return
 		}
-		r := wire.NewReader(payload)
+		r := wire.GetReader(payload)
 		id := r.Uvarint()
 		kind := r.Byte()
 		errs := r.String()
-		body := r.Bytes()
-		if r.Done() != nil || kind != frameResponse {
+		body := r.Bytes() // copies: the result outlives the reader
+		rerr := r.Done()
+		wire.PutReader(r)
+		if rerr != nil || kind != frameResponse {
 			c.fail(fmt.Errorf("rpc: malformed response frame"))
 			return
 		}
@@ -263,12 +268,13 @@ func (d *TCPDialer) CallTimeout(addr, method string, body []byte, timeout time.D
 	c.nextID++
 	c.pending[id] = ch
 
-	w := wire.NewWriter(len(body) + len(method) + 16)
+	w := wire.GetWriter()
 	w.Uvarint(id)
 	w.Byte(frameRequest)
 	w.String_(method)
 	w.Bytes_(body)
 	werr := writeFrame(c.conn, w.Bytes())
+	wire.PutWriter(w)
 	c.mu.Unlock()
 	if werr != nil {
 		c.fail(werr)
