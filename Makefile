@@ -5,8 +5,8 @@
 #                     under the race detector (covering the pooled
 #                     wire-buffer and merkle-scratch paths), then the
 #                     E15 batch-throughput, E16 checkpointing, E17
-#                     crash-recovery, and E18 hot-path benchmarks
-#                     emitting BENCH_e15.json … BENCH_e18.json (the
+#                     crash-recovery, E18 hot-path, and E19 shard-scaling
+#                     benchmarks emitting BENCH_e15.json … BENCH_e19.json (the
 #                     perf trajectory record), a short fuzz smoke over
 #                     the wire/merkle decoders, plus the README
 #                     package-map completeness check.
@@ -21,9 +21,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme bench profile
+.PHONY: verify build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 fuzz-smoke check-readme bench profile
 
-verify: build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 fuzz-smoke check-readme
+verify: build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 fuzz-smoke check-readme
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,10 @@ bench-e17:
 bench-e18:
 	$(GO) test -run '^$$' -bench BenchmarkE18 -benchtime 1x -json . > BENCH_e18.json
 	@grep -c '"Action"' BENCH_e18.json >/dev/null && echo "wrote BENCH_e18.json"
+
+bench-e19:
+	$(GO) test -run '^$$' -bench BenchmarkE19 -benchtime 1x -json . > BENCH_e19.json
+	@grep -c '"Action"' BENCH_e19.json >/dev/null && echo "wrote BENCH_e19.json"
 
 # Short native-fuzz runs over the two untrusted-input decoders. The
 # checked-in corpora under testdata/fuzz/ replay in plain `go test`;

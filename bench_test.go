@@ -60,6 +60,7 @@ func BenchmarkE15Batch(b *testing.B)        { benchExperiment(b, "E15") }
 func BenchmarkE16Checkpoint(b *testing.B)   { benchExperiment(b, "E16") }
 func BenchmarkE17Recovery(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18HotPath(b *testing.B)      { benchExperiment(b, "E18") }
+func BenchmarkE19Sharding(b *testing.B)     { benchExperiment(b, "E19") }
 
 // BenchmarkBatchUpdateVerify measures the slave-side cost of one batched
 // commit: one signature verification plus per-op membership proofs.

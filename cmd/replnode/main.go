@@ -95,7 +95,11 @@ func main() {
 			IssuedAt: rt.Now(), Serial: uint64(*index),
 		}
 		cert.Sign(owner)
-		dir.Publish(cert)
+		// A master that cannot register itself is undiscoverable; fail
+		// loud instead of starting a server no client will ever find.
+		if err := dir.Publish(cert); err != nil {
+			log.Fatalf("directory publish failed: %v", err)
+		}
 		m.Start()
 		handler = m.Handle
 

@@ -9,6 +9,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -19,6 +21,7 @@ import (
 type scenarioFlags struct {
 	masters    *int
 	slaves     *int
+	shards     *int
 	clients    *int
 	liars      *int
 	lieProb    *float64
@@ -39,6 +42,7 @@ func registerScenarioFlags() scenarioFlags {
 	return scenarioFlags{
 		masters:    flag.Int("masters", 2, "scenario: number of masters"),
 		slaves:     flag.Int("slaves", 2, "scenario: slaves per master"),
+		shards:     flag.Int("shards", 1, "scenario: independent master groups partitioning the keyspace (1 = unsharded)"),
 		clients:    flag.Int("clients", 4, "scenario: number of clients"),
 		liars:      flag.Int("liars", 0, "scenario: number of lying slaves"),
 		lieProb:    flag.Float64("lieprob", 1.0, "scenario: per-answer lie probability of liars"),
@@ -61,6 +65,7 @@ func runScenario(seed int64, f scenarioFlags) {
 	cfg.Seed = seed
 	cfg.NMasters = *f.masters
 	cfg.SlavesPerMaster = *f.slaves
+	cfg.Shards = *f.shards
 	cfg.Params.DoubleCheckP = *f.checkProb
 	cfg.Params.MaxLatency = *f.maxLatency
 	cfg.BatchSize = *f.batch
@@ -74,16 +79,35 @@ func runScenario(seed int64, f scenarioFlags) {
 		cfg.SlaveBehaviors[i] = core.LieWithProb{P: *f.lieProb}
 	}
 	sc := harness.NewScenario(cfg)
-	clients := make([]*core.Client, *f.clients)
-	for i := range clients {
-		clients[i] = sc.AddClient(nil)
-	}
-	for i, cl := range clients {
-		cl := cl
+	sharded := *f.shards > 1
+	for i := 0; i < *f.clients; i++ {
 		i := i
+		// Sharded deployments need routing clients; the point reads they
+		// support are drawn from the catalog. Unsharded keeps the classic
+		// client and the full dynamic-query mix.
+		var setup func() error
+		var write func(op store.Op) (uint64, error)
+		var read func(rng *rand.Rand, gen *workload.Gen) error
+		if sharded {
+			scl := sc.AddShardClient(nil)
+			setup = scl.Setup
+			write = scl.Write
+			read = func(rng *rand.Rand, gen *workload.Gen) error {
+				_, err := scl.Read(query.Get{Key: workload.CatalogKey(rng.Intn(cfg.CatalogSize))})
+				return err
+			}
+		} else {
+			cl := sc.AddClient(nil)
+			setup = cl.Setup
+			write = cl.Write
+			read = func(rng *rand.Rand, gen *workload.Gen) error {
+				_, err := cl.Read(gen.Next())
+				return err
+			}
+		}
 		sc.S.Go(func() {
 			sc.S.Sleep(sc.Warmup())
-			if err := cl.Setup(); err != nil {
+			if err := setup(); err != nil {
 				return
 			}
 			rng := rand.New(rand.NewSource(seed + int64(i)*101))
@@ -97,10 +121,10 @@ func runScenario(seed int64, f scenarioFlags) {
 				}
 				n++
 				if *f.writeEvery > 0 && n%*f.writeEvery == 0 {
-					cl.Write(gen.NextWrite(n))
+					write(gen.NextWrite(n))
 					continue
 				}
-				cl.Read(gen.Next())
+				read(rng, gen)
 			}
 		})
 	}
@@ -109,6 +133,18 @@ func runScenario(seed int64, f scenarioFlags) {
 	sc.Run(*f.duration + time.Minute)
 
 	cs := sc.TotalClientStats()
+	var rs core.ShardedStats
+	for _, scl := range sc.ShardClients {
+		st, sub := scl.Stats()
+		rs.Redirects += st.Redirects
+		rs.Routed += st.Routed
+		cs.ReadsAccepted += sub.ReadsAccepted
+		cs.ReadsFailed += sub.ReadsFailed
+		cs.Retries += sub.Retries
+		cs.DoubleChecks += sub.DoubleChecks
+		cs.WritesOK += sub.WritesOK
+		cs.WritesFailed += sub.WritesFailed
+	}
 	ms := sc.TotalMasterStats()
 	ss := sc.TotalSlaveStats()
 	as := sc.Auditor.Stats()
@@ -126,6 +162,11 @@ func runScenario(seed int64, f scenarioFlags) {
 	t.Add("double-checks", cs.DoubleChecks)
 	t.Add("liars caught red-handed", cs.CaughtImmediate)
 	t.Add("writes committed", cs.WritesOK)
+	if sharded {
+		t.Add("writes routed by shard table", rs.Routed)
+		t.Add("wrong-shard redirects", rs.Redirects)
+		t.Add("wrong-shard rejects (masters)", ms.WrongShardRejects)
+	}
 	t.Add("write batches (= signatures)", ms.BatchesApplied)
 	t.Add("write pacing waits", ms.WritePacingWaits)
 	t.Add("checkpoints applied", ms.CheckpointsApplied)

@@ -79,7 +79,7 @@ func main() {
 			IssuedAt: rt.Now(), Serial: uint64(i),
 		}
 		cert.Sign(owner)
-		dir.Publish(cert)
+		must(dir.Publish(cert))
 		return m
 	}
 	m0 := newMaster(0, m0Addr)

@@ -121,14 +121,24 @@ func chargeCPU(cpu *sim.Resource, d time.Duration) {
 
 // DirectoryService is the slice of pki.Directory behaviour the protocol
 // needs, bound to one content key. In simulations the directory object is
-// shared in-process; over TCP cmd/replnode serves it remotely.
+// shared in-process; over TCP cmd/replnode serves it remotely. Every
+// method that can cross a network reports failure: callers must never
+// mistake an unreachable directory for an empty answer (in particular,
+// IsExcluded fails closed — an RPC failure is an error, not "not
+// excluded"). Certificates and shard tables returned by ShardMap are raw
+// directory state; callers verify them against the content key before
+// trusting them.
 type DirectoryService interface {
 	VerifiedMasters() ([]pki.Certificate, error)
-	Publish(cert pki.Certificate)
-	Withdraw(subject cryptoutil.PublicKey)
-	RecordExclusion(e pki.Exclusion)
-	IsExcluded(subject cryptoutil.PublicKey) bool
-	ClearExclusion(subject cryptoutil.PublicKey)
+	// ShardMap returns the published shard table and every published
+	// certificate (all roles). pki.ErrNoShardTable means the deployment
+	// is unsharded.
+	ShardMap() (pki.ShardTable, []pki.Certificate, error)
+	Publish(cert pki.Certificate) error
+	Withdraw(subject cryptoutil.PublicKey) error
+	RecordExclusion(e pki.Exclusion) error
+	IsExcluded(subject cryptoutil.PublicKey) (bool, error)
+	ClearExclusion(subject cryptoutil.PublicKey) error
 }
 
 // BoundDirectory adapts a *pki.Directory to DirectoryService for one
@@ -143,25 +153,44 @@ func (b BoundDirectory) VerifiedMasters() ([]pki.Certificate, error) {
 	return b.Dir.VerifiedMasters(b.ContentKey)
 }
 
+// ShardMap implements DirectoryService.
+func (b BoundDirectory) ShardMap() (pki.ShardTable, []pki.Certificate, error) {
+	table, err := b.Dir.ShardTableFor(b.ContentKey)
+	if err != nil {
+		return pki.ShardTable{}, nil, err
+	}
+	certs, err := b.Dir.Lookup(b.ContentKey)
+	if err != nil {
+		return pki.ShardTable{}, nil, err
+	}
+	return table, certs, nil
+}
+
 // Publish implements DirectoryService.
-func (b BoundDirectory) Publish(cert pki.Certificate) { b.Dir.Publish(b.ContentKey, cert) }
+func (b BoundDirectory) Publish(cert pki.Certificate) error {
+	b.Dir.Publish(b.ContentKey, cert)
+	return nil
+}
 
 // Withdraw implements DirectoryService.
-func (b BoundDirectory) Withdraw(subject cryptoutil.PublicKey) {
+func (b BoundDirectory) Withdraw(subject cryptoutil.PublicKey) error {
 	b.Dir.Withdraw(b.ContentKey, subject)
+	return nil
 }
 
 // RecordExclusion implements DirectoryService.
-func (b BoundDirectory) RecordExclusion(e pki.Exclusion) {
+func (b BoundDirectory) RecordExclusion(e pki.Exclusion) error {
 	b.Dir.RecordExclusion(b.ContentKey, e)
+	return nil
 }
 
 // IsExcluded implements DirectoryService.
-func (b BoundDirectory) IsExcluded(subject cryptoutil.PublicKey) bool {
-	return b.Dir.IsExcluded(b.ContentKey, subject)
+func (b BoundDirectory) IsExcluded(subject cryptoutil.PublicKey) (bool, error) {
+	return b.Dir.IsExcluded(b.ContentKey, subject), nil
 }
 
 // ClearExclusion implements DirectoryService.
-func (b BoundDirectory) ClearExclusion(subject cryptoutil.PublicKey) {
+func (b BoundDirectory) ClearExclusion(subject cryptoutil.PublicKey) error {
 	b.Dir.ClearExclusion(b.ContentKey, subject)
+	return nil
 }

@@ -59,6 +59,9 @@ type MasterStats struct {
 	WALReplayed       uint64 // batches replayed from the WAL at start
 	RecoverySyncs     uint64 // wholesale catch-up syncs performed at start
 	SnapshotRefreshes uint64 // retained-snapshot refreshes outside checkpoints
+
+	WrongShardRejects uint64 // writes rejected because the key is outside Shard
+	DirectoryErrors   uint64 // directory RPCs that failed (record kept local)
 }
 
 // MasterConfig configures a master server.
@@ -81,6 +84,12 @@ type MasterConfig struct {
 	ACL *ACL
 	// Directory is the public directory bound to this content.
 	Directory DirectoryService
+	// Shard is the key range this master's group owns in a sharded
+	// deployment. Writes addressing keys outside it are rejected at
+	// admission with a wrong-shard error carrying this range, so clients
+	// with a stale shard table re-resolve and retry. The zero value is
+	// the full keyspace (unsharded), which changes nothing.
+	Shard wire.ShardRef
 	// CPU, if non-nil, charges modelled service times (simulation).
 	CPU *sim.Resource
 	// Seed drives throttling randomness.
@@ -412,6 +421,18 @@ func (m *Master) admitWrite(wr *WriteRequest) error {
 	}
 	if err := store.ValidateOp(wr.OpBytes); err != nil {
 		return fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	if !m.cfg.Shard.IsFull() {
+		key, err := store.OpKey(wr.OpBytes)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		if !m.cfg.Shard.Contains(key) {
+			m.mu.Lock()
+			m.stats.WrongShardRejects++
+			m.mu.Unlock()
+			return wrongShardError(m.cfg.Shard)
+		}
 	}
 	return nil
 }
@@ -1256,7 +1277,15 @@ func (m *Master) applyExclude(r *wire.Reader) {
 		Evidence: EncodePledge(pledge),
 	}
 	excl.Sign(m.cfg.Keys)
-	m.cfg.Directory.RecordExclusion(excl)
+	// The exclusion has already been broadcast cluster-wide; the
+	// directory record is the public copy. An unreachable directory is
+	// counted, not fatal — the record is retried implicitly when other
+	// masters apply the same exclusion.
+	if err := m.cfg.Directory.RecordExclusion(excl); err != nil {
+		m.mu.Lock()
+		m.stats.DirectoryErrors++
+		m.mu.Unlock()
+	}
 
 	// §3.5: contact all clients connected to the malicious slave, inform
 	// them, and assign each a new slave.
@@ -1518,7 +1547,11 @@ func (m *Master) applyReadmit(r *wire.Reader) {
 	}
 	m.mu.Unlock()
 	if owner == m.cfg.Addr {
-		m.cfg.Directory.ClearExclusion(cert.Subject)
+		if err := m.cfg.Directory.ClearExclusion(cert.Subject); err != nil {
+			m.mu.Lock()
+			m.stats.DirectoryErrors++
+			m.mu.Unlock()
+		}
 		// Bring it up to date immediately with a keep-alive.
 		m.rt.Spawn(func() {
 			m.mu.Lock()
@@ -1727,7 +1760,11 @@ func (m *Master) applyAdopt(r *wire.Reader) {
 			}
 			for _, c := range masters {
 				if c.Addr == dead {
-					m.cfg.Directory.Withdraw(c.Subject)
+					if werr := m.cfg.Directory.Withdraw(c.Subject); werr != nil {
+						m.mu.Lock()
+						m.stats.DirectoryErrors++
+						m.mu.Unlock()
+					}
 				}
 			}
 		})

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// ErrWrongShard is returned by a master asked to write a key outside its
+// group's range. The error text embeds the master's authoritative range
+// as a shard token, so a client holding a stale shard table learns the
+// truth from the rejection itself and can re-resolve and retry.
+var ErrWrongShard = errors.New("core: wrong shard")
+
+// wrongShardError builds the rejection a master sends for an
+// out-of-range key. Application errors cross the RPC boundary as text
+// (rpc.RemoteError), so the authoritative range travels inside the
+// message as a parseable token.
+func wrongShardError(authoritative wire.ShardRef) error {
+	return fmt.Errorf("%w: key is outside this group's range; authoritative %s",
+		ErrWrongShard, authoritative.Token())
+}
+
+// IsWrongShard reports whether err is a wrong-shard rejection, locally
+// generated or surfaced through an RPC as a remote error.
+func IsWrongShard(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrWrongShard) {
+		return true
+	}
+	return rpc.IsRemote(err) && strings.Contains(err.Error(), ErrWrongShard.Error())
+}
+
+// WrongShardRange recovers the authoritative range carried by a
+// wrong-shard rejection. ok is false when err is not a wrong-shard error
+// or carries no well-formed token.
+func WrongShardRange(err error) (wire.ShardRef, bool) {
+	if !IsWrongShard(err) {
+		return wire.ShardRef{}, false
+	}
+	return wire.ParseShardToken(err.Error())
+}

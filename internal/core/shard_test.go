@@ -1,0 +1,52 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+func TestWrongShardErrorRoundTrip(t *testing.T) {
+	ref := wire.ShardRef{ID: 2, Lo: "catalog/00010", Hi: "catalog/00020"}
+	err := wrongShardError(ref)
+	if !IsWrongShard(err) {
+		t.Fatal("local wrong-shard error not recognized")
+	}
+	got, ok := WrongShardRange(err)
+	if !ok || got != ref {
+		t.Fatalf("WrongShardRange = %v ok=%v, want %v", got, ok, ref)
+	}
+
+	// The same error after an RPC hop: the wrap is gone, only the text
+	// survives inside a RemoteError.
+	remote := error(&rpc.RemoteError{Method: "m.write", Msg: err.Error()})
+	if errors.Is(remote, ErrWrongShard) {
+		t.Fatal("test setup: RemoteError should not wrap the sentinel")
+	}
+	if !IsWrongShard(remote) {
+		t.Fatal("remote wrong-shard error not recognized from text")
+	}
+	got, ok = WrongShardRange(remote)
+	if !ok || got != ref {
+		t.Fatalf("remote WrongShardRange = %v ok=%v, want %v", got, ok, ref)
+	}
+}
+
+func TestIsWrongShardRejectsOtherErrors(t *testing.T) {
+	for _, err := range []error{
+		nil,
+		errors.New("core: denied"),
+		fmt.Errorf("wrapped: %w", ErrDenied),
+		&rpc.RemoteError{Method: "m.write", Msg: "core: denied: no such client"},
+	} {
+		if IsWrongShard(err) {
+			t.Fatalf("IsWrongShard(%v) = true", err)
+		}
+		if _, ok := WrongShardRange(err); ok {
+			t.Fatalf("WrongShardRange(%v) = ok", err)
+		}
+	}
+}

@@ -1,7 +1,3 @@
-// Package dirsrv exposes the public directory (§2) over RPC so that real
-// (TCP) deployments have the same setup path as simulations: clients and
-// masters reach the directory by address and everything they receive is
-// verifiable against the content key.
 package dirsrv
 
 import (
@@ -16,15 +12,20 @@ import (
 
 // Method names served by Server.Handle.
 const (
-	MethodMasters   = "d.masters"
-	MethodPublish   = "d.publish"
-	MethodWithdraw  = "d.withdraw"
-	MethodExclude   = "d.exclude"
-	MethodExcluded  = "d.excluded"
-	MethodReinstate = "d.reinstate"
+	MethodMasters      = "d.masters"
+	MethodPublish      = "d.publish"
+	MethodWithdraw     = "d.withdraw"
+	MethodExclude      = "d.exclude"
+	MethodExcluded     = "d.excluded"
+	MethodReinstate    = "d.reinstate"
+	MethodShardMap     = "d.shardmap"
+	MethodPublishTable = "d.publishtable"
 )
 
-// Server serves one content's directory entries.
+// Server serves one content's directory entries: certificates, the shard
+// table, and exclusions. Every mutation is verified before it is stored
+// (see Handle); the server itself stays untrusted — clients re-verify
+// everything — but it refuses to become a vector for garbage.
 type Server struct {
 	Dir        *pki.Directory
 	ContentKey cryptoutil.PublicKey
@@ -39,11 +40,53 @@ func NewServer(contentKey cryptoutil.PublicKey) *Server {
 func (s *Server) Handle(from, method string, body []byte) ([]byte, error) {
 	switch method {
 	case MethodMasters:
+		// Empty body: the full verified master set (legacy / unsharded
+		// setup). A body carrying a key: only the masters of the shard
+		// owning that key, per the published table.
 		certs, err := s.Dir.VerifiedMasters(s.ContentKey)
 		if err != nil {
 			return nil, err
 		}
+		if len(body) > 0 {
+			r := wire.NewReader(body)
+			key := r.String()
+			if err := r.Done(); err != nil {
+				return nil, err
+			}
+			if table, terr := s.Dir.ShardTableFor(s.ContentKey); terr == nil {
+				want := table.ShardFor(key).ID
+				routed := certs[:0]
+				for _, c := range certs {
+					if c.Shard == want {
+						routed = append(routed, c)
+					}
+				}
+				certs = routed
+			}
+		}
 		w := wire.NewWriter(512)
+		w.Uvarint(uint64(len(certs)))
+		for _, c := range certs {
+			c.Encode(w)
+		}
+		return w.Bytes(), nil
+
+	case MethodShardMap:
+		// The signed table plus every published certificate (all roles).
+		// Clients verify both against the content key before trusting
+		// them; the server just refuses to serve what never verified.
+		w := wire.NewWriter(1024)
+		table, err := s.Dir.ShardTableFor(s.ContentKey)
+		if err != nil {
+			w.Bool(false)
+		} else {
+			w.Bool(true)
+			table.Encode(w)
+		}
+		certs, err := s.Dir.Lookup(s.ContentKey)
+		if err != nil {
+			certs = nil
+		}
 		w.Uvarint(uint64(len(certs)))
 		for _, c := range certs {
 			c.Encode(w)
@@ -59,12 +102,29 @@ func (s *Server) Handle(from, method string, body []byte) ([]byte, error) {
 		if err := r.Done(); err != nil {
 			return nil, err
 		}
-		// Only certificates verifiable under the content key are stored;
-		// the directory is untrusted but need not store garbage.
-		if cert.Role == pki.RoleMaster && cert.Verify(s.ContentKey) != nil {
-			return nil, fmt.Errorf("dirsrv: master certificate does not verify")
+		// Only certificates verifiable under the content key are stored —
+		// every role, not just masters: a forged auditor or slave entry
+		// would otherwise ride the directory into client shard caches.
+		if err := cert.Verify(s.ContentKey); err != nil {
+			return nil, fmt.Errorf("dirsrv: %s certificate does not verify: %v", cert.Role, err)
 		}
 		s.Dir.Publish(s.ContentKey, cert)
+		return nil, nil
+
+	case MethodPublishTable:
+		r := wire.NewReader(body)
+		table, err := pki.DecodeShardTable(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		// PublishShardTable verifies signature, well-formedness, and
+		// epoch monotonicity before storing.
+		if err := s.Dir.PublishShardTable(s.ContentKey, table); err != nil {
+			return nil, fmt.Errorf("dirsrv: shard table rejected: %v", err)
+		}
 		return nil, nil
 
 	case MethodWithdraw:
@@ -83,6 +143,12 @@ func (s *Server) Handle(from, method string, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		// An exclusion is only stored if a currently certified master
+		// signed it; otherwise anyone could write revocations into the
+		// directory and deny service to honest slaves.
+		if err := s.verifyExclusion(&excl); err != nil {
 			return nil, err
 		}
 		s.Dir.RecordExclusion(s.ContentKey, excl)
@@ -110,7 +176,26 @@ func (s *Server) Handle(from, method string, body []byte) ([]byte, error) {
 	return nil, fmt.Errorf("dirsrv: unknown method %q", method)
 }
 
+// verifyExclusion checks the exclusion is signed by a master currently
+// certified for this content.
+func (s *Server) verifyExclusion(excl *pki.Exclusion) error {
+	masters, err := s.Dir.VerifiedMasters(s.ContentKey)
+	if err != nil {
+		return fmt.Errorf("dirsrv: exclusion rejected: no certified masters: %v", err)
+	}
+	for _, m := range masters {
+		if excl.Verify(m.Subject) == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("dirsrv: exclusion is not signed by a certified master")
+}
+
 // Client implements core.DirectoryService against a remote directory.
+// Every method propagates RPC failure: a master that publishes its
+// certificate learns whether the directory actually heard it, and
+// IsExcluded fails closed — an unreachable directory reports an error,
+// never a silent "not excluded".
 type Client struct {
 	Addr   string
 	Dialer rpc.Dialer
@@ -124,6 +209,22 @@ func (c *Client) VerifiedMasters() ([]pki.Certificate, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeCertList(body)
+}
+
+// MastersFor returns the verified masters of the shard owning key, per
+// the directory's published table (all masters when no table exists).
+func (c *Client) MastersFor(key string) ([]pki.Certificate, error) {
+	w := wire.NewWriter(64)
+	w.String_(key)
+	body, err := c.Dialer.Call(c.Addr, MethodMasters, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeCertList(body)
+}
+
+func decodeCertList(body []byte) ([]pki.Certificate, error) {
 	r := wire.NewReader(body)
 	n := r.Uvarint()
 	certs := make([]pki.Certificate, 0, n)
@@ -137,42 +238,94 @@ func (c *Client) VerifiedMasters() ([]pki.Certificate, error) {
 	return certs, r.Done()
 }
 
+// ShardMap implements core.DirectoryService.
+func (c *Client) ShardMap() (pki.ShardTable, []pki.Certificate, error) {
+	body, err := c.Dialer.Call(c.Addr, MethodShardMap, nil)
+	if err != nil {
+		return pki.ShardTable{}, nil, err
+	}
+	r := wire.NewReader(body)
+	has := r.Bool()
+	var table pki.ShardTable
+	if has {
+		table, err = pki.DecodeShardTable(r)
+		if err != nil {
+			return pki.ShardTable{}, nil, err
+		}
+	}
+	n := r.Uvarint()
+	certs := make([]pki.Certificate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		cert, err := pki.DecodeCertificate(r)
+		if err != nil {
+			return pki.ShardTable{}, nil, err
+		}
+		certs = append(certs, cert)
+	}
+	if err := r.Done(); err != nil {
+		return pki.ShardTable{}, nil, err
+	}
+	if !has {
+		return pki.ShardTable{}, certs, pki.ErrNoShardTable
+	}
+	return table, certs, nil
+}
+
+// PublishShardTable uploads a signed shard table to the directory.
+func (c *Client) PublishShardTable(t pki.ShardTable) error {
+	w := wire.NewWriter(512)
+	t.Encode(w)
+	_, err := c.Dialer.Call(c.Addr, MethodPublishTable, w.Bytes())
+	return err
+}
+
 // Publish implements core.DirectoryService.
-func (c *Client) Publish(cert pki.Certificate) {
+func (c *Client) Publish(cert pki.Certificate) error {
 	w := wire.NewWriter(512)
 	cert.Encode(w)
-	c.Dialer.Call(c.Addr, MethodPublish, w.Bytes())
+	_, err := c.Dialer.Call(c.Addr, MethodPublish, w.Bytes())
+	return err
 }
 
 // Withdraw implements core.DirectoryService.
-func (c *Client) Withdraw(subject cryptoutil.PublicKey) {
+func (c *Client) Withdraw(subject cryptoutil.PublicKey) error {
 	w := wire.NewWriter(64)
 	w.Bytes_(subject)
-	c.Dialer.Call(c.Addr, MethodWithdraw, w.Bytes())
+	_, err := c.Dialer.Call(c.Addr, MethodWithdraw, w.Bytes())
+	return err
 }
 
 // RecordExclusion implements core.DirectoryService.
-func (c *Client) RecordExclusion(e pki.Exclusion) {
+func (c *Client) RecordExclusion(e pki.Exclusion) error {
 	w := wire.NewWriter(512)
 	e.Encode(w)
-	c.Dialer.Call(c.Addr, MethodExclude, w.Bytes())
+	_, err := c.Dialer.Call(c.Addr, MethodExclude, w.Bytes())
+	return err
 }
 
-// IsExcluded implements core.DirectoryService.
-func (c *Client) IsExcluded(subject cryptoutil.PublicKey) bool {
+// IsExcluded implements core.DirectoryService. It fails closed: when the
+// directory cannot be reached the caller gets an error, not false — a
+// partitioned directory must not silently reinstate an excluded
+// (compromised) replica.
+func (c *Client) IsExcluded(subject cryptoutil.PublicKey) (bool, error) {
 	w := wire.NewWriter(64)
 	w.Bytes_(subject)
 	body, err := c.Dialer.Call(c.Addr, MethodExcluded, w.Bytes())
 	if err != nil {
-		return false
+		return false, err
 	}
 	r := wire.NewReader(body)
-	return r.Bool()
+	excluded := r.Bool()
+	if err := r.Done(); err != nil {
+		return false, err
+	}
+	return excluded, nil
 }
 
 // ClearExclusion implements core.DirectoryService.
-func (c *Client) ClearExclusion(subject cryptoutil.PublicKey) {
+func (c *Client) ClearExclusion(subject cryptoutil.PublicKey) error {
 	w := wire.NewWriter(64)
 	w.Bytes_(subject)
-	c.Dialer.Call(c.Addr, MethodReinstate, w.Bytes())
+	_, err := c.Dialer.Call(c.Addr, MethodReinstate, w.Bytes())
+	return err
 }

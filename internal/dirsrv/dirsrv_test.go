@@ -1,6 +1,8 @@
 package dirsrv
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -8,6 +10,7 @@ import (
 	"repro/internal/pki"
 	"repro/internal/rpc"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 func rig(t *testing.T) (*sim.Sim, *Server, *Client, *cryptoutil.KeyPair) {
@@ -24,11 +27,13 @@ func rig(t *testing.T) (*sim.Sim, *Server, *Client, *cryptoutil.KeyPair) {
 func TestPublishLookupRoundTrip(t *testing.T) {
 	s, _, cl, owner := rig(t)
 	m := cryptoutil.DeriveKeyPair("master", 0)
-	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: m.Public}
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: m.Public, Shard: 3}
 	cert.Sign(owner)
 	var got []pki.Certificate
 	s.Go(func() {
-		cl.Publish(cert)
+		if err := cl.Publish(cert); err != nil {
+			t.Errorf("publish: %v", err)
+		}
 		var err error
 		got, err = cl.VerifiedMasters()
 		if err != nil {
@@ -36,7 +41,7 @@ func TestPublishLookupRoundTrip(t *testing.T) {
 		}
 	})
 	s.Run()
-	if len(got) != 1 || got[0].Addr != "m0" {
+	if len(got) != 1 || got[0].Addr != "m0" || got[0].Shard != 3 {
 		t.Fatalf("masters = %+v", got)
 	}
 	if got[0].Verify(owner.Public) != nil {
@@ -44,15 +49,41 @@ func TestPublishLookupRoundTrip(t *testing.T) {
 	}
 }
 
-func TestPublishRejectsForgedMasterCert(t *testing.T) {
-	s, srv, cl, _ := rig(t)
-	evil := cryptoutil.DeriveKeyPair("evil", 0)
-	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "evil", Subject: evil.Public}
-	cert.Sign(evil)
-	s.Go(func() { cl.Publish(cert) })
-	s.Run()
+// TestPublishRejectsForgedCertsEveryRole is the regression test for the
+// fail-open publish path: only master certificates used to be verified,
+// so a forged slave or auditor certificate was stored as-is.
+func TestPublishRejectsForgedCertsEveryRole(t *testing.T) {
+	for _, role := range []string{pki.RoleMaster, pki.RoleSlave, pki.RoleAuditor} {
+		t.Run(role, func(t *testing.T) {
+			s, srv, cl, _ := rig(t)
+			evil := cryptoutil.DeriveKeyPair("evil", 0)
+			cert := pki.Certificate{Role: role, Addr: "evil", Subject: evil.Public}
+			cert.Sign(evil) // self-signed, not the content owner
+			var pubErr error
+			s.Go(func() { pubErr = cl.Publish(cert) })
+			s.Run()
+			if pubErr == nil {
+				t.Fatalf("forged %s cert accepted", role)
+			}
+			if _, err := srv.Dir.Lookup(srv.ContentKey); err == nil {
+				t.Fatalf("forged %s cert stored", role)
+			}
+		})
+	}
+}
+
+// TestPublishRejectsGarbage feeds undecodable bytes to every mutating
+// method; none may panic or store anything.
+func TestPublishRejectsGarbage(t *testing.T) {
+	_, srv, _, _ := rig(t)
+	garbage := []byte{0xff, 0x01, 0x02, 0x03}
+	for _, method := range []string{MethodPublish, MethodExclude, MethodPublishTable} {
+		if _, err := srv.Handle("x", method, garbage); err == nil {
+			t.Fatalf("%s accepted garbage", method)
+		}
+	}
 	if _, err := srv.Dir.Lookup(srv.ContentKey); err == nil {
-		t.Fatal("forged cert stored")
+		t.Fatal("garbage produced directory state")
 	}
 }
 
@@ -63,8 +94,12 @@ func TestWithdraw(t *testing.T) {
 	cert.Sign(owner)
 	var err error
 	s.Go(func() {
-		cl.Publish(cert)
-		cl.Withdraw(m.Public)
+		if perr := cl.Publish(cert); perr != nil {
+			t.Errorf("publish: %v", perr)
+		}
+		if werr := cl.Withdraw(m.Public); werr != nil {
+			t.Errorf("withdraw: %v", werr)
+		}
 		_, err = cl.VerifiedMasters()
 	})
 	s.Run()
@@ -74,16 +109,30 @@ func TestWithdraw(t *testing.T) {
 }
 
 func TestExclusionRoundTrip(t *testing.T) {
-	s, _, cl, _ := rig(t)
+	s, _, cl, owner := rig(t)
 	master := cryptoutil.DeriveKeyPair("master", 0)
 	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: master.Public}
+	cert.Sign(owner)
 	e := pki.Exclusion{Subject: slave.Public, Reason: "lied"}
 	e.Sign(master)
 	var before, after bool
 	s.Go(func() {
-		before = cl.IsExcluded(slave.Public)
-		cl.RecordExclusion(e)
-		after = cl.IsExcluded(slave.Public)
+		if err := cl.Publish(cert); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+		var err error
+		before, err = cl.IsExcluded(slave.Public)
+		if err != nil {
+			t.Errorf("before: %v", err)
+		}
+		if err := cl.RecordExclusion(e); err != nil {
+			t.Errorf("record: %v", err)
+		}
+		after, err = cl.IsExcluded(slave.Public)
+		if err != nil {
+			t.Errorf("after: %v", err)
+		}
 	})
 	s.Run()
 	if before || !after {
@@ -91,22 +140,240 @@ func TestExclusionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExclusionRequiresCertifiedMaster: an exclusion signed by a key the
+// directory never certified as a master is refused.
+func TestExclusionRequiresCertifiedMaster(t *testing.T) {
+	s, srv, cl, owner := rig(t)
+	master := cryptoutil.DeriveKeyPair("master", 0)
+	impostor := cryptoutil.DeriveKeyPair("impostor", 0)
+	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: master.Public}
+	cert.Sign(owner)
+	e := pki.Exclusion{Subject: slave.Public, Reason: "forged"}
+	e.Sign(impostor)
+	var recErr error
+	s.Go(func() {
+		if err := cl.Publish(cert); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+		recErr = cl.RecordExclusion(e)
+	})
+	s.Run()
+	if recErr == nil {
+		t.Fatal("exclusion by an uncertified signer accepted")
+	}
+	if srv.Dir.IsExcluded(srv.ContentKey, slave.Public) {
+		t.Fatal("forged exclusion stored")
+	}
+}
+
 func TestReinstateClearsExclusion(t *testing.T) {
-	s, _, cl, _ := rig(t)
+	s, _, cl, owner := rig(t)
 	master := cryptoutil.DeriveKeyPair("master", 0)
 	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: master.Public}
+	cert.Sign(owner)
 	e := pki.Exclusion{Subject: slave.Public, Reason: "lied"}
 	e.Sign(master)
 	var excluded, reinstated bool
 	s.Go(func() {
-		cl.RecordExclusion(e)
-		excluded = cl.IsExcluded(slave.Public)
-		cl.ClearExclusion(slave.Public)
-		reinstated = !cl.IsExcluded(slave.Public)
+		if err := cl.Publish(cert); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+		if err := cl.RecordExclusion(e); err != nil {
+			t.Errorf("record: %v", err)
+		}
+		var err error
+		excluded, err = cl.IsExcluded(slave.Public)
+		if err != nil {
+			t.Errorf("excluded: %v", err)
+		}
+		if err := cl.ClearExclusion(slave.Public); err != nil {
+			t.Errorf("clear: %v", err)
+		}
+		still, err := cl.IsExcluded(slave.Public)
+		if err != nil {
+			t.Errorf("reinstated: %v", err)
+		}
+		reinstated = !still
 	})
 	s.Run()
 	if !excluded || !reinstated {
 		t.Fatalf("excluded=%v reinstated=%v", excluded, reinstated)
+	}
+}
+
+// failingDialer simulates an unreachable directory.
+type failingDialer struct{}
+
+func (failingDialer) Call(addr, method string, body []byte) ([]byte, error) {
+	return nil, rpc.ErrUnreachable
+}
+
+func (failingDialer) CallTimeout(addr, method string, body []byte, d time.Duration) ([]byte, error) {
+	return nil, rpc.ErrUnreachable
+}
+
+// TestIsExcludedFailsClosed is the regression test for the fail-open
+// exclusion check: an RPC failure must surface as an error, never as a
+// silent "not excluded" that would reinstate a compromised replica.
+func TestIsExcludedFailsClosed(t *testing.T) {
+	cl := &Client{Addr: "dir", Dialer: failingDialer{}}
+	slave := cryptoutil.DeriveKeyPair("slave", 0)
+	excluded, err := cl.IsExcluded(slave.Public)
+	if err == nil {
+		t.Fatal("IsExcluded swallowed the RPC failure")
+	}
+	if !errors.Is(err, rpc.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if excluded {
+		t.Fatal("excluded should be false alongside the error")
+	}
+}
+
+// TestMutationsPropagateRPCFailure: a master that publishes through a
+// dead directory must learn the directory never heard it.
+func TestMutationsPropagateRPCFailure(t *testing.T) {
+	cl := &Client{Addr: "dir", Dialer: failingDialer{}}
+	owner := cryptoutil.DeriveKeyPair("owner", 0)
+	m := cryptoutil.DeriveKeyPair("master", 0)
+	cert := pki.Certificate{Role: pki.RoleMaster, Addr: "m0", Subject: m.Public}
+	cert.Sign(owner)
+	e := pki.Exclusion{Subject: m.Public, Reason: "x"}
+	e.Sign(m)
+	checks := map[string]error{
+		"publish":  cl.Publish(cert),
+		"withdraw": cl.Withdraw(m.Public),
+		"record":   cl.RecordExclusion(e),
+		"clear":    cl.ClearExclusion(m.Public),
+	}
+	for name, err := range checks {
+		if !errors.Is(err, rpc.ErrUnreachable) {
+			t.Errorf("%s: err = %v, want ErrUnreachable", name, err)
+		}
+	}
+	if _, _, err := cl.ShardMap(); !errors.Is(err, rpc.ErrUnreachable) {
+		t.Errorf("shardmap: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func ownerTable(owner *cryptoutil.KeyPair, epoch uint64, bounds ...string) pki.ShardTable {
+	t := pki.ShardTable{Epoch: epoch}
+	lo := ""
+	for i, b := range bounds {
+		t.Shards = append(t.Shards, wire.ShardRef{ID: uint32(i), Lo: lo, Hi: b})
+		lo = b
+	}
+	t.Shards = append(t.Shards, wire.ShardRef{ID: uint32(len(bounds)), Lo: lo, Hi: ""})
+	t.Sign(owner)
+	return t
+}
+
+func TestShardTableRoundTripAndRouting(t *testing.T) {
+	s, _, cl, owner := rig(t)
+	table := ownerTable(owner, 1, "m")
+	m0 := cryptoutil.DeriveKeyPair("master", 0)
+	m1 := cryptoutil.DeriveKeyPair("master", 1)
+	c0 := pki.Certificate{Role: pki.RoleMaster, Addr: "g0-m", Subject: m0.Public, Shard: 0}
+	c0.Sign(owner)
+	c1 := pki.Certificate{Role: pki.RoleMaster, Addr: "g1-m", Subject: m1.Public, Shard: 1}
+	c1.Sign(owner)
+
+	var got pki.ShardTable
+	var lowMasters, highMasters []pki.Certificate
+	s.Go(func() {
+		if err := cl.PublishShardTable(table); err != nil {
+			t.Errorf("publish table: %v", err)
+		}
+		if err := cl.Publish(c0); err != nil {
+			t.Errorf("publish c0: %v", err)
+		}
+		if err := cl.Publish(c1); err != nil {
+			t.Errorf("publish c1: %v", err)
+		}
+		var err error
+		got, _, err = cl.ShardMap()
+		if err != nil {
+			t.Errorf("shardmap: %v", err)
+		}
+		lowMasters, err = cl.MastersFor("apple")
+		if err != nil {
+			t.Errorf("masters for apple: %v", err)
+		}
+		highMasters, err = cl.MastersFor("zebra")
+		if err != nil {
+			t.Errorf("masters for zebra: %v", err)
+		}
+	})
+	s.Run()
+	if got.Epoch != 1 || len(got.Shards) != 2 {
+		t.Fatalf("table = %+v", got)
+	}
+	if err := got.Verify(owner.Public); err != nil {
+		t.Fatalf("round-tripped table does not verify: %v", err)
+	}
+	if len(lowMasters) != 1 || lowMasters[0].Addr != "g0-m" {
+		t.Fatalf("masters for low key = %+v", lowMasters)
+	}
+	if len(highMasters) != 1 || highMasters[0].Addr != "g1-m" {
+		t.Fatalf("masters for high key = %+v", highMasters)
+	}
+}
+
+func TestShardTableRejectsForgeryAndStaleEpoch(t *testing.T) {
+	s, srv, cl, owner := rig(t)
+	good := ownerTable(owner, 5, "m")
+	evil := cryptoutil.DeriveKeyPair("evil", 0)
+	forged := ownerTable(evil, 9, "q")
+	// Tampered: signed by the owner, then one range bound flipped.
+	tampered := ownerTable(owner, 6, "m")
+	tampered.Shards[0].Hi = "zzz"
+	tampered.Shards[1].Lo = "zzz"
+	stale := ownerTable(owner, 4, "k")
+
+	var forgedErr, tamperedErr, staleErr error
+	s.Go(func() {
+		if err := cl.PublishShardTable(good); err != nil {
+			t.Errorf("good table rejected: %v", err)
+		}
+		forgedErr = cl.PublishShardTable(forged)
+		tamperedErr = cl.PublishShardTable(tampered)
+		staleErr = cl.PublishShardTable(stale)
+	})
+	s.Run()
+	if forgedErr == nil {
+		t.Fatal("forged table accepted")
+	}
+	if tamperedErr == nil {
+		t.Fatal("tampered table accepted")
+	}
+	if staleErr == nil || !strings.Contains(staleErr.Error(), "epoch") {
+		t.Fatalf("stale epoch accepted: %v", staleErr)
+	}
+	stored, err := srv.Dir.ShardTableFor(srv.ContentKey)
+	if err != nil || stored.Epoch != 5 {
+		t.Fatalf("stored table = %+v, %v", stored, err)
+	}
+}
+
+func TestMalformedShardTablesRejected(t *testing.T) {
+	owner := cryptoutil.DeriveKeyPair("owner", 0)
+	cases := map[string][]wire.ShardRef{
+		"empty":    {},
+		"open-lo":  {{ID: 0, Lo: "b", Hi: ""}},
+		"open-hi":  {{ID: 0, Lo: "", Hi: "m"}},
+		"gap":      {{ID: 0, Lo: "", Hi: "d"}, {ID: 1, Lo: "f", Hi: ""}},
+		"overlap":  {{ID: 0, Lo: "", Hi: "f"}, {ID: 1, Lo: "d", Hi: ""}},
+		"dup-id":   {{ID: 7, Lo: "", Hi: "m"}, {ID: 7, Lo: "m", Hi: ""}},
+		"interior": {{ID: 0, Lo: "", Hi: ""}, {ID: 1, Lo: "", Hi: ""}},
+	}
+	for name, shards := range cases {
+		tb := pki.ShardTable{Epoch: 1, Shards: shards}
+		tb.Sign(owner)
+		if err := tb.Verify(owner.Public); err == nil {
+			t.Errorf("%s: malformed table verified", name)
+		}
 	}
 }
 

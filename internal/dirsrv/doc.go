@@ -1,0 +1,52 @@
+// Package dirsrv is the directory plane of the deployment: the public
+// directory of §2 exposed over RPC, promoted from a flat master list to
+// the shard routing service of the multi-group deployment.
+//
+// # What the directory serves
+//
+// For one content key the directory holds three kinds of state, all of
+// it verifiable by clients and none of it trusted:
+//
+//   - Certificates (pki.Certificate) binding master, auditor, and slave
+//     identities to contact addresses and — in a sharded deployment — to
+//     a shard id. Each is signed by the content owner, and the shard id
+//     is inside the signature, so the directory cannot remap a master
+//     into another group's key range.
+//   - The shard table (pki.ShardTable): the owner-signed, epoch-numbered
+//     partition of the keyspace into contiguous ranges, each owned by
+//     one master group. MethodShardMap serves the table plus all
+//     certificates in one round trip; MethodMasters with a key in the
+//     body serves only the owning shard's masters.
+//   - Exclusions (pki.Exclusion) revoking slaves proven malicious.
+//
+// # Verify before store
+//
+// The server refuses every mutation that does not verify: certificates
+// of any role must verify under the content key, shard tables must be
+// signed, well-formed (contiguous, total, unique ids), and not older
+// than the stored epoch, and exclusions must be signed by a currently
+// certified master. The directory stays untrusted — clients re-verify
+// everything they receive — but it never stores or serves garbage.
+//
+// # The redirect/retry protocol
+//
+// Clients resolve key -> shard through core.ShardRouter, cache the
+// verified mapping, and route writes to the owning group's masters. A
+// master asked to write a key outside its configured range rejects it at
+// admission with a wrong-shard error whose text carries the master's
+// authoritative range as a parseable token (core.WrongShardRange). The
+// client reacts by invalidating its cached table, re-resolving through
+// the directory, and retrying — bounded, and safe against duplicates
+// because the rejection happens before anything is committed. This is
+// how every client converges after a range move without coordination.
+//
+// # Fail-closed exclusion semantics
+//
+// Client.IsExcluded propagates RPC failure instead of defaulting to
+// "not excluded": the paper's threat model assumes replicas will be
+// compromised and must stay excluded, so a partitioned or crashed
+// directory must surface as an error a caller can act on, never as a
+// silent reinstatement. Publish, Withdraw, RecordExclusion, and
+// ClearExclusion equally return the transport error, so a master knows
+// whether the directory actually heard it.
+package dirsrv

@@ -110,7 +110,9 @@ func deploy(t *testing.T, nSlaves int, behaviors map[int]core.Behavior, mutMaste
 		IssuedAt: time.Now(),
 	}
 	cert.Sign(d.owner)
-	d.dir.Publish(cert)
+	if err := d.dir.Publish(cert); err != nil {
+		t.Fatal(err)
+	}
 
 	d.auditor, err = core.NewAuditor(core.AuditorConfig{
 		Addr: auditorAddr, Keys: auditorKeys, Params: d.params,
@@ -247,7 +249,11 @@ func TestTCPLiarCaughtOverRealSockets(t *testing.T) {
 	if st.CaughtImmediate == 0 || st.LiesAccepted != 0 {
 		t.Fatalf("client stats: %+v", st)
 	}
-	if !d.dir.IsExcluded(d.slaves[0].PublicKey()) {
+	excluded, err := d.dir.IsExcluded(d.slaves[0].PublicKey())
+	if err != nil {
+		t.Fatalf("exclusion lookup: %v", err)
+	}
+	if !excluded {
 		t.Fatal("liar not excluded in remote directory")
 	}
 }

@@ -35,8 +35,8 @@ func TestScenarioBootsAndConverges(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

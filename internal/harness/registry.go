@@ -42,6 +42,7 @@ func Registry() []Experiment {
 		{"E16", "stability checkpointing bounds master memory; stale slaves snapshot-sync (§3.1, §6)", one(E16Checkpointing)},
 		{"E17", "a durable master replays its WAL on restart and rejoins without reprovisioning (§3.1, §3.5)", one(E17CrashRecovery)},
 		{"E18", "a zero-alloc hot path lifts batched write throughput under modern costs (§3.1, §6)", one(E18HotPath)},
+		{"E19", "sharding the keyspace across master groups multiplies the paced write ceiling (§3.1, §6)", one(E19Sharding)},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -22,6 +23,13 @@ type ScenarioConfig struct {
 	NMasters        int
 	SlavesPerMaster int
 	Params          core.Params
+	// Shards partitions the catalog keyspace across this many independent
+	// master groups — each with its own ordered broadcast, checkpointing,
+	// auditor, and slave fleet — routed by an owner-signed shard table
+	// published to the directory. Every group gets NMasters masters with
+	// SlavesPerMaster slaves each. <= 1 keeps today's single-group
+	// deployment (addresses and behaviour unchanged).
+	Shards int
 	// SlaveBehaviors maps global slave index -> behaviour (default honest).
 	SlaveBehaviors map[int]core.Behavior
 	// Latency is the default one-way link latency.
@@ -73,6 +81,15 @@ func DefaultScenario() ScenarioConfig {
 	}
 }
 
+// GroupRefs indexes one master group (shard) inside the flat Masters /
+// Slaves slices.
+type GroupRefs struct {
+	Shard   wire.ShardRef
+	Masters []int // indices into Scenario.Masters
+	Slaves  []int // indices into Scenario.Slaves
+	Auditor int   // index into Scenario.Auditors
+}
+
 // Scenario is a running deployment in virtual time.
 type Scenario struct {
 	Cfg     ScenarioConfig
@@ -83,10 +100,20 @@ type Scenario struct {
 	Bound   core.BoundDirectory
 	Masters []*core.Master
 	Slaves  []*core.Slave
-	Auditor *core.Auditor
-	Clients []*core.Client
-	ACL     *core.ACL
-	Initial *store.Store
+	// Auditors holds one auditor per master group; Auditor aliases the
+	// first for single-group compatibility.
+	Auditors []*core.Auditor
+	Auditor  *core.Auditor
+	Clients  []*core.Client
+	// ShardClients are the sharded (routing) clients added with
+	// AddShardClient.
+	ShardClients []*core.ShardedClient
+	ACL          *core.ACL
+	Initial      *store.Store
+	// Table is the owner-signed shard table published to Dir (epoch 1).
+	Table pki.ShardTable
+	// Groups maps each shard to its masters/slaves/auditor.
+	Groups []GroupRefs
 
 	MasterCPU  []*sim.Resource
 	SlaveCPU   []*sim.Resource
@@ -103,6 +130,25 @@ type Scenario struct {
 type slaveRef struct {
 	addr string
 	pub  cryptoutil.PublicKey
+}
+
+// ShardTableFor builds the owner-signed table splitting the catalog
+// keyspace evenly across shards: boundaries fall on catalog keys, the
+// first range is open below and the last open above (so doc keys, which
+// sort after "catalog/", land in the last shard).
+func ShardTableFor(owner *cryptoutil.KeyPair, shards, catalogSize int) pki.ShardTable {
+	t := pki.ShardTable{Epoch: 1}
+	lo := ""
+	for g := 0; g < shards; g++ {
+		hi := ""
+		if g < shards-1 {
+			hi = workload.CatalogKey(catalogSize * (g + 1) / shards)
+		}
+		t.Shards = append(t.Shards, wire.ShardRef{ID: uint32(g), Lo: lo, Hi: hi})
+		lo = hi
+	}
+	t.Sign(owner)
+	return t
 }
 
 // NewScenario builds and starts the deployment (masters, slaves, auditor).
@@ -125,6 +171,10 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 	if cfg.Latency == nil {
 		cfg.Latency = sim.Const(5 * time.Millisecond)
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	s := sim.New(cfg.Seed)
 	sc := &Scenario{
 		Cfg:   cfg,
@@ -137,110 +187,158 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 	sc.Bound = core.BoundDirectory{Dir: sc.Dir, ContentKey: sc.Owner.Public}
 	sc.Initial = workload.BuildContent(cfg.CatalogSize, cfg.DocCount)
 
-	masterAddrs := make([]string, cfg.NMasters)
-	masterKeys := make([]*cryptoutil.KeyPair, cfg.NMasters)
-	var masterPubs []cryptoutil.PublicKey
-	for i := range masterAddrs {
-		masterAddrs[i] = fmt.Sprintf("master-%d", i)
-		masterKeys[i] = cryptoutil.DeriveKeyPair("master", i)
-		masterPubs = append(masterPubs, masterKeys[i].Public)
+	// The routing plane: an owner-signed table splitting the catalog
+	// keyspace across the groups (a single full-range shard when
+	// unsharded, so sharded clients work against any scenario).
+	sc.Table = ShardTableFor(sc.Owner, shards, cfg.CatalogSize)
+	if err := sc.Dir.PublishShardTable(sc.Owner.Public, sc.Table); err != nil {
+		panic(err) // configuration bug in the experiment, not runtime
 	}
-	auditorAddr := "auditor"
-	auditorKeys := cryptoutil.DeriveKeyPair("auditor", 0)
-	peers := append(append([]string(nil), masterAddrs...), auditorAddr)
 
-	for i := 0; i < cfg.NMasters; i++ {
-		cert := pki.Certificate{
-			Role: pki.RoleMaster, Addr: masterAddrs[i], Subject: masterKeys[i].Public,
-			IssuedAt: s.Now(), Serial: uint64(i),
+	// Address naming: the single-group deployment keeps its historical
+	// flat names; groups are prefixed only when there is more than one.
+	prefix := func(g int) string {
+		if shards == 1 {
+			return ""
 		}
-		cert.Sign(sc.Owner)
-		sc.Dir.Publish(sc.Owner.Public, cert)
-		cpu := s.NewResource(masterAddrs[i]+"/cpu", cfg.MasterCPUs)
-		sc.MasterCPU = append(sc.MasterCPU, cpu)
-		mcfg := core.MasterConfig{
-			Addr:                masterAddrs[i],
-			Keys:                masterKeys[i],
-			Params:              cfg.Params,
-			ContentKey:          sc.Owner.Public,
-			Peers:               peers,
-			AuditorAddr:         auditorAddr,
-			AuditorPub:          auditorKeys.Public,
-			ACL:                 sc.ACL,
-			Directory:           sc.Bound,
-			CPU:                 cpu,
-			Seed:                cfg.Seed*1000 + int64(i),
-			BatchSize:           cfg.BatchSize,
-			BatchTimeout:        cfg.BatchTimeout,
-			BatchAdaptive:       cfg.BatchAdaptive,
-			CheckpointEvery:     cfg.CheckpointEvery,
-			CheckpointMinRetain: cfg.CheckpointMinRetain,
-			CheckpointMaxLag:    cfg.CheckpointMaxLag,
-			WALSyncEvery:        cfg.WALSyncEvery,
-		}
-		if cfg.DataDir != "" {
-			mcfg.DataDir = filepath.Join(cfg.DataDir, masterAddrs[i])
-		}
-		m, err := core.NewMaster(mcfg, s, sc.Net.Dialer(masterAddrs[i]), sc.Initial)
-		if err != nil {
-			panic(err) // configuration bug in the experiment, not runtime
-		}
-		sc.masterCfgs = append(sc.masterCfgs, mcfg)
-		sc.masterSlaves = append(sc.masterSlaves, nil)
-		sc.Masters = append(sc.Masters, m)
-		sc.Net.Register(masterAddrs[i], m.Handle)
+		return fmt.Sprintf("g%d-", g)
 	}
 
 	slaveIdx := 0
-	for i := 0; i < cfg.NMasters; i++ {
-		for j := 0; j < cfg.SlavesPerMaster; j++ {
-			addr := fmt.Sprintf("slave-%d", slaveIdx)
-			keys := cryptoutil.DeriveKeyPair("slave", slaveIdx)
-			behavior := core.Behavior(core.Honest{})
-			if b, ok := cfg.SlaveBehaviors[slaveIdx]; ok {
-				behavior = b
-			}
-			cpu := s.NewResource(addr+"/cpu", cfg.SlaveCPUs)
-			sc.SlaveCPU = append(sc.SlaveCPU, cpu)
-			sl := core.NewSlave(core.SlaveConfig{
-				Addr:       addr,
-				Keys:       keys,
-				Params:     cfg.Params,
-				MasterAddr: masterAddrs[i],
-				MasterPubs: masterPubs,
-				Behavior:   behavior,
-				CPU:        cpu,
-				Seed:       cfg.Seed*2000 + int64(slaveIdx),
-			}, s, sc.Net.Dialer(addr), sc.Initial)
-			sc.Slaves = append(sc.Slaves, sl)
-			sc.Net.Register(addr, sl.Handle)
-			sc.Masters[i].AddSlave(addr, keys.Public)
-			sc.masterSlaves[i] = append(sc.masterSlaves[i], slaveRef{addr, keys.Public})
-			slaveIdx++
-		}
-	}
+	serial := uint64(0)
+	for g := 0; g < shards; g++ {
+		group := GroupRefs{Shard: sc.Table.Shards[g], Auditor: g}
 
-	sc.AuditorCPU = s.NewResource("auditor/cpu", cfg.AuditorCPUs)
-	aud, err := core.NewAuditor(core.AuditorConfig{
-		Addr:        auditorAddr,
-		Keys:        auditorKeys,
-		Params:      cfg.Params,
-		Peers:       peers,
-		MasterAddrs: masterAddrs,
-		MasterPubs:  masterPubs,
-		CPU:         sc.AuditorCPU,
-		Seed:        cfg.Seed * 3000,
-	}, s, sc.Net.Dialer(auditorAddr), sc.Initial)
-	if err != nil {
-		panic(err)
+		masterAddrs := make([]string, cfg.NMasters)
+		masterKeys := make([]*cryptoutil.KeyPair, cfg.NMasters)
+		var masterPubs []cryptoutil.PublicKey
+		for i := range masterAddrs {
+			masterAddrs[i] = fmt.Sprintf("%smaster-%d", prefix(g), i)
+			masterKeys[i] = cryptoutil.DeriveKeyPair("master", g*1000+i)
+			masterPubs = append(masterPubs, masterKeys[i].Public)
+		}
+		auditorAddr := prefix(g) + "auditor"
+		auditorKeys := cryptoutil.DeriveKeyPair("auditor", g)
+		peers := append(append([]string(nil), masterAddrs...), auditorAddr)
+
+		for i := 0; i < cfg.NMasters; i++ {
+			cert := pki.Certificate{
+				Role: pki.RoleMaster, Addr: masterAddrs[i], Subject: masterKeys[i].Public,
+				IssuedAt: s.Now(), Serial: serial, Shard: uint32(g),
+			}
+			serial++
+			cert.Sign(sc.Owner)
+			sc.Dir.Publish(sc.Owner.Public, cert)
+			cpu := s.NewResource(masterAddrs[i]+"/cpu", cfg.MasterCPUs)
+			sc.MasterCPU = append(sc.MasterCPU, cpu)
+			mcfg := core.MasterConfig{
+				Addr:                masterAddrs[i],
+				Keys:                masterKeys[i],
+				Params:              cfg.Params,
+				ContentKey:          sc.Owner.Public,
+				Peers:               peers,
+				AuditorAddr:         auditorAddr,
+				AuditorPub:          auditorKeys.Public,
+				ACL:                 sc.ACL,
+				Directory:           sc.Bound,
+				Shard:               sc.Table.Shards[g],
+				CPU:                 cpu,
+				Seed:                cfg.Seed*1000 + int64(g*100+i),
+				BatchSize:           cfg.BatchSize,
+				BatchTimeout:        cfg.BatchTimeout,
+				BatchAdaptive:       cfg.BatchAdaptive,
+				CheckpointEvery:     cfg.CheckpointEvery,
+				CheckpointMinRetain: cfg.CheckpointMinRetain,
+				CheckpointMaxLag:    cfg.CheckpointMaxLag,
+				WALSyncEvery:        cfg.WALSyncEvery,
+			}
+			if cfg.DataDir != "" {
+				mcfg.DataDir = filepath.Join(cfg.DataDir, masterAddrs[i])
+			}
+			m, err := core.NewMaster(mcfg, s, sc.Net.Dialer(masterAddrs[i]), sc.Initial)
+			if err != nil {
+				panic(err) // configuration bug in the experiment, not runtime
+			}
+			group.Masters = append(group.Masters, len(sc.Masters))
+			sc.masterCfgs = append(sc.masterCfgs, mcfg)
+			sc.masterSlaves = append(sc.masterSlaves, nil)
+			sc.Masters = append(sc.Masters, m)
+			sc.Net.Register(masterAddrs[i], m.Handle)
+		}
+
+		for i := 0; i < cfg.NMasters; i++ {
+			masterFlat := group.Masters[i]
+			for j := 0; j < cfg.SlavesPerMaster; j++ {
+				addr := fmt.Sprintf("%sslave-%d", prefix(g), i*cfg.SlavesPerMaster+j)
+				if shards == 1 {
+					addr = fmt.Sprintf("slave-%d", slaveIdx)
+				}
+				keys := cryptoutil.DeriveKeyPair("slave", slaveIdx)
+				behavior := core.Behavior(core.Honest{})
+				if b, ok := cfg.SlaveBehaviors[slaveIdx]; ok {
+					behavior = b
+				}
+				cpu := s.NewResource(addr+"/cpu", cfg.SlaveCPUs)
+				sc.SlaveCPU = append(sc.SlaveCPU, cpu)
+				sl := core.NewSlave(core.SlaveConfig{
+					Addr:       addr,
+					Keys:       keys,
+					Params:     cfg.Params,
+					MasterAddr: masterAddrs[i],
+					MasterPubs: masterPubs,
+					Behavior:   behavior,
+					CPU:        cpu,
+					Seed:       cfg.Seed*2000 + int64(slaveIdx),
+				}, s, sc.Net.Dialer(addr), sc.Initial)
+				group.Slaves = append(group.Slaves, len(sc.Slaves))
+				sc.Slaves = append(sc.Slaves, sl)
+				sc.Net.Register(addr, sl.Handle)
+				sc.Masters[masterFlat].AddSlave(addr, keys.Public)
+				sc.masterSlaves[masterFlat] = append(sc.masterSlaves[masterFlat], slaveRef{addr, keys.Public})
+				slaveIdx++
+			}
+		}
+
+		audCPU := s.NewResource(auditorAddr+"/cpu", cfg.AuditorCPUs)
+		if g == 0 {
+			sc.AuditorCPU = audCPU
+		}
+		aud, err := core.NewAuditor(core.AuditorConfig{
+			Addr:        auditorAddr,
+			Keys:        auditorKeys,
+			Params:      cfg.Params,
+			Peers:       peers,
+			MasterAddrs: masterAddrs,
+			MasterPubs:  masterPubs,
+			CPU:         audCPU,
+			Seed:        cfg.Seed * 3000 * int64(g+1),
+		}, s, sc.Net.Dialer(auditorAddr), sc.Initial)
+		if err != nil {
+			panic(err)
+		}
+		sc.Auditors = append(sc.Auditors, aud)
+		sc.Net.Register(auditorAddr, aud.Handle)
+
+		// Publish the auditor's identity so sharded clients can resolve
+		// each group's auditor address from the directory.
+		audCert := pki.Certificate{
+			Role: pki.RoleAuditor, Addr: auditorAddr, Subject: auditorKeys.Public,
+			IssuedAt: s.Now(), Serial: serial, Shard: uint32(g),
+		}
+		serial++
+		audCert.Sign(sc.Owner)
+		sc.Dir.Publish(sc.Owner.Public, audCert)
+
+		sc.Groups = append(sc.Groups, group)
 	}
-	sc.Auditor = aud
-	sc.Net.Register(auditorAddr, aud.Handle)
+	sc.Auditor = sc.Auditors[0]
 
 	for _, m := range sc.Masters {
 		m.Start()
 	}
-	aud.Start()
+	for _, aud := range sc.Auditors {
+		aud.Start()
+	}
 	return sc
 }
 
@@ -257,7 +355,7 @@ func (sc *Scenario) AddClient(mut func(*core.ClientConfig)) *core.Client {
 		Params:          sc.Cfg.Params,
 		ContentKey:      sc.Owner.Public,
 		Directory:       sc.Bound,
-		AuditorAddr:     "auditor",
+		AuditorAddr:     sc.masterCfgs[0].AuditorAddr,
 		PreferredMaster: idx % len(sc.Masters),
 		Seed:            sc.Cfg.Seed*4000 + int64(idx),
 	}
@@ -267,6 +365,33 @@ func (sc *Scenario) AddClient(mut func(*core.ClientConfig)) *core.Client {
 	cl := core.NewClient(cfg, sc.S, sc.Net.Dialer(addr))
 	sc.Net.Register(addr, cl.Handle)
 	sc.Clients = append(sc.Clients, cl)
+	return cl
+}
+
+// AddShardClient registers a new sharded client: it resolves the shard
+// table from the directory and routes every write/read to the owning
+// group, re-resolving on wrong-shard redirects. mut may adjust the
+// configuration shared by the per-group sub-clients.
+func (sc *Scenario) AddShardClient(mut func(*core.ClientConfig)) *core.ShardedClient {
+	idx := sc.clientN
+	sc.clientN++
+	addr := fmt.Sprintf("client-%d", idx)
+	keys := cryptoutil.DeriveKeyPair("client", idx)
+	sc.ACL.Allow(keys.Public)
+	cfg := core.ClientConfig{
+		Addr:       addr,
+		Keys:       keys,
+		Params:     sc.Cfg.Params,
+		ContentKey: sc.Owner.Public,
+		Directory:  sc.Bound,
+		Seed:       sc.Cfg.Seed*4000 + int64(idx),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	cl := core.NewShardedClient(cfg, sc.S, sc.Net.Dialer(addr))
+	sc.Net.Register(addr, cl.Handle)
+	sc.ShardClients = append(sc.ShardClients, cl)
 	return cl
 }
 
@@ -335,6 +460,8 @@ func (sc *Scenario) TotalMasterStats() core.MasterStats {
 		st := m.Stats()
 		t.WritesAdmitted += st.WritesAdmitted
 		t.WritesApplied += st.WritesApplied
+		t.WrongShardRejects += st.WrongShardRejects
+		t.DirectoryErrors += st.DirectoryErrors
 		t.BatchesApplied += st.BatchesApplied
 		t.BatchFlushFull += st.BatchFlushFull
 		t.BatchFlushTimer += st.BatchFlushTimer

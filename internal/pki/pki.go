@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cryptoutil"
@@ -34,7 +35,10 @@ var (
 
 // Certificate binds a subject public key to a role and contact address,
 // under an issuer's signature. Master certificates are issued under the
-// content key; slave certificates under a master key.
+// content key; slave certificates under a master key. Shard names the
+// master group the subject belongs to in a sharded deployment (0 in an
+// unsharded one); it is covered by the signature, so a compromised
+// directory cannot remap a master into a different group's range.
 type Certificate struct {
 	Role     string
 	Addr     string
@@ -42,18 +46,20 @@ type Certificate struct {
 	Issuer   cryptoutil.PublicKey
 	IssuedAt time.Time
 	Serial   uint64
+	Shard    uint32
 	Sig      []byte
 }
 
 func (c *Certificate) signedBytes() []byte {
 	w := wire.NewWriter(128)
-	w.String_("cert.v1")
+	w.String_("cert.v2")
 	w.String_(c.Role)
 	w.String_(c.Addr)
 	w.Bytes_(c.Subject)
 	w.Bytes_(c.Issuer)
 	w.Time(c.IssuedAt)
 	w.Uvarint(c.Serial)
+	w.Uint32(c.Shard)
 	return w.Bytes()
 }
 
@@ -82,6 +88,7 @@ func (c *Certificate) Encode(w *wire.Writer) {
 	w.Bytes_(c.Issuer)
 	w.Time(c.IssuedAt)
 	w.Uvarint(c.Serial)
+	w.Uint32(c.Shard)
 	w.Bytes_(c.Sig)
 }
 
@@ -94,6 +101,7 @@ func DecodeCertificate(r *wire.Reader) (Certificate, error) {
 	c.Issuer = cryptoutil.PublicKey(r.Bytes())
 	c.IssuedAt = r.Time()
 	c.Serial = r.Uvarint()
+	c.Shard = r.Uint32()
 	c.Sig = r.Bytes()
 	return c, r.Err()
 }
@@ -161,12 +169,15 @@ func DecodeExclusion(r *wire.Reader) (Exclusion, error) {
 
 // Directory is the public directory of §2: given a content public key it
 // returns the certified master set. It also records exclusions so that
-// clients can learn of revoked slaves. The directory is an untrusted
-// lookup service — everything it serves is independently verifiable
-// against the content key.
+// clients can learn of revoked slaves, and serves the signed shard table
+// that partitions the keyspace across master groups. The directory is an
+// untrusted lookup service — everything it serves is independently
+// verifiable against the content key.
 type Directory struct {
-	contents   map[string][]Certificate // content key fingerprint -> master certs
-	exclusions map[string][]Exclusion   // content key fingerprint -> exclusions
+	mu         sync.Mutex
+	contents   map[string][]Certificate // guarded by mu; content key fingerprint -> certs
+	exclusions map[string][]Exclusion   // guarded by mu; content key fingerprint -> exclusions
+	tables     map[string]ShardTable    // guarded by mu; content key fingerprint -> shard table
 }
 
 // NewDirectory returns an empty directory.
@@ -174,6 +185,7 @@ func NewDirectory() *Directory {
 	return &Directory{
 		contents:   make(map[string][]Certificate),
 		exclusions: make(map[string][]Exclusion),
+		tables:     make(map[string]ShardTable),
 	}
 }
 
@@ -181,8 +193,10 @@ func keyID(contentKey cryptoutil.PublicKey) string {
 	return cryptoutil.KeyFingerprint(contentKey)
 }
 
-// Publish registers a master certificate under the content key.
+// Publish registers a certificate under the content key.
 func (d *Directory) Publish(contentKey cryptoutil.PublicKey, cert Certificate) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := keyID(contentKey)
 	// Replace any previous certificate for the same (role, subject).
 	certs := d.contents[id]
@@ -198,6 +212,8 @@ func (d *Directory) Publish(contentKey cryptoutil.PublicKey, cert Certificate) {
 
 // Withdraw removes the certificate for a subject (e.g. a crashed master).
 func (d *Directory) Withdraw(contentKey, subject cryptoutil.PublicKey) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := keyID(contentKey)
 	certs := d.contents[id]
 	for i := range certs {
@@ -210,6 +226,8 @@ func (d *Directory) Withdraw(contentKey, subject cryptoutil.PublicKey) {
 
 // Lookup returns the certificates registered under the content key.
 func (d *Directory) Lookup(contentKey cryptoutil.PublicKey) ([]Certificate, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	certs, ok := d.contents[keyID(contentKey)]
 	if !ok || len(certs) == 0 {
 		return nil, ErrNotFound
@@ -219,17 +237,23 @@ func (d *Directory) Lookup(contentKey cryptoutil.PublicKey) ([]Certificate, erro
 
 // RecordExclusion stores a slave exclusion under the content key.
 func (d *Directory) RecordExclusion(contentKey cryptoutil.PublicKey, e Exclusion) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := keyID(contentKey)
 	d.exclusions[id] = append(d.exclusions[id], e)
 }
 
 // Exclusions returns all recorded exclusions for the content key.
 func (d *Directory) Exclusions(contentKey cryptoutil.PublicKey) []Exclusion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return append([]Exclusion(nil), d.exclusions[keyID(contentKey)]...)
 }
 
 // IsExcluded reports whether subject has a recorded exclusion.
 func (d *Directory) IsExcluded(contentKey, subject cryptoutil.PublicKey) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, e := range d.exclusions[keyID(contentKey)] {
 		if bytes.Equal(e.Subject, subject) {
 			return true
@@ -242,6 +266,8 @@ func (d *Directory) IsExcluded(contentKey, subject cryptoutil.PublicKey) bool {
 // was the victim of an attack can, "after recovering it to a safe state",
 // be brought back to use).
 func (d *Directory) ClearExclusion(contentKey, subject cryptoutil.PublicKey) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := keyID(contentKey)
 	excl := d.exclusions[id]
 	out := excl[:0]

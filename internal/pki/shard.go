@@ -1,0 +1,175 @@
+package pki
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// Shard-table errors.
+var (
+	ErrBadShardTable = errors.New("pki: shard table is malformed")
+	ErrNoShardTable  = errors.New("pki: no shard table for content")
+	ErrStaleEpoch    = errors.New("pki: shard table epoch is older than the stored one")
+)
+
+// ShardTable is the content owner's signed partition of the keyspace
+// across master groups: an ordered list of contiguous key ranges, each
+// naming the shard (master group) that owns it. Like certificates, the
+// table is served by the untrusted directory but verified against the
+// content key, so the directory cannot reroute a key range to a group
+// the owner never certified for it. Epoch orders range moves: a client
+// holding epoch N discards it for any verified table with a higher
+// epoch.
+type ShardTable struct {
+	Epoch  uint64
+	Shards []wire.ShardRef
+	Issuer cryptoutil.PublicKey
+	Sig    []byte
+}
+
+func (t *ShardTable) signedBytes() []byte {
+	w := wire.NewWriter(256)
+	w.String_("shards.v1")
+	w.Uvarint(t.Epoch)
+	w.Uvarint(uint64(len(t.Shards)))
+	for _, s := range t.Shards {
+		s.Encode(w)
+	}
+	return w.Bytes()
+}
+
+// Sign fills in Issuer and Sig using the content owner's key pair.
+func (t *ShardTable) Sign(issuer *cryptoutil.KeyPair) {
+	t.Issuer = issuer.Public
+	t.Sig = issuer.Sign(t.signedBytes())
+}
+
+// Verify checks the signature against the trusted issuer and that the
+// table is well-formed: at least one shard, ranges sorted, contiguous,
+// covering the whole keyspace (first Lo and last Hi empty), with unique
+// shard ids. Anything less would let a hostile directory open routing
+// holes, so verifiers reject it outright.
+func (t *ShardTable) Verify(trustedIssuer cryptoutil.PublicKey) error {
+	if !bytes.Equal(t.Issuer, trustedIssuer) {
+		return ErrWrongIssuer
+	}
+	if err := cryptoutil.Verify(t.Issuer, t.signedBytes(), t.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCertSig, err)
+	}
+	return t.wellFormed()
+}
+
+func (t *ShardTable) wellFormed() error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadShardTable)
+	}
+	if t.Shards[0].Lo != "" {
+		return fmt.Errorf("%w: first range does not start the keyspace", ErrBadShardTable)
+	}
+	if t.Shards[len(t.Shards)-1].Hi != "" {
+		return fmt.Errorf("%w: last range does not end the keyspace", ErrBadShardTable)
+	}
+	seen := make(map[uint32]bool, len(t.Shards))
+	for i, s := range t.Shards {
+		if seen[s.ID] {
+			return fmt.Errorf("%w: duplicate shard id %d", ErrBadShardTable, s.ID)
+		}
+		seen[s.ID] = true
+		if i > 0 {
+			prev := t.Shards[i-1]
+			if prev.Hi != s.Lo {
+				return fmt.Errorf("%w: gap or overlap between %v and %v", ErrBadShardTable, prev, s)
+			}
+		}
+		if i < len(t.Shards)-1 && s.Hi == "" {
+			return fmt.Errorf("%w: interior range %v is unbounded", ErrBadShardTable, s)
+		}
+		if s.Hi != "" && s.Lo >= s.Hi {
+			return fmt.Errorf("%w: empty range %v", ErrBadShardTable, s)
+		}
+	}
+	return nil
+}
+
+// ShardFor returns the shard owning key. The table must be well-formed
+// (verified); on a well-formed table every key has exactly one owner.
+func (t *ShardTable) ShardFor(key string) wire.ShardRef {
+	// First range whose Hi is past the key (Hi == "" sorts last).
+	i := sort.Search(len(t.Shards), func(i int) bool {
+		s := t.Shards[i]
+		return s.Hi == "" || key < s.Hi
+	})
+	if i >= len(t.Shards) {
+		i = len(t.Shards) - 1
+	}
+	return t.Shards[i]
+}
+
+// Encode appends the table to w.
+func (t *ShardTable) Encode(w *wire.Writer) {
+	w.Uvarint(t.Epoch)
+	w.Uvarint(uint64(len(t.Shards)))
+	for _, s := range t.Shards {
+		s.Encode(w)
+	}
+	w.Bytes_(t.Issuer)
+	w.Bytes_(t.Sig)
+}
+
+// DecodeShardTable reads a table written by Encode.
+func DecodeShardTable(r *wire.Reader) (ShardTable, error) {
+	var t ShardTable
+	t.Epoch = r.Uvarint()
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return t, r.Err()
+	}
+	if n > wire.MaxBatchItems {
+		return t, fmt.Errorf("%w: %d shards", ErrBadShardTable, n)
+	}
+	t.Shards = make([]wire.ShardRef, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := wire.DecodeShardRef(r)
+		if err != nil {
+			return t, err
+		}
+		t.Shards = append(t.Shards, s)
+	}
+	t.Issuer = cryptoutil.PublicKey(r.Bytes())
+	t.Sig = r.Bytes()
+	return t, r.Err()
+}
+
+// PublishShardTable stores the table under the content key. Only tables
+// that verify against the content key are stored (the directory is
+// untrusted but need not store garbage), and an epoch older than the
+// stored one is rejected so a replayed table cannot roll routing back.
+func (d *Directory) PublishShardTable(contentKey cryptoutil.PublicKey, t ShardTable) error {
+	if err := t.Verify(contentKey); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := keyID(contentKey)
+	if prev, ok := d.tables[id]; ok && t.Epoch < prev.Epoch {
+		return fmt.Errorf("%w: have %d, got %d", ErrStaleEpoch, prev.Epoch, t.Epoch)
+	}
+	d.tables[id] = t
+	return nil
+}
+
+// ShardTableFor returns the stored shard table for the content key.
+func (d *Directory) ShardTableFor(contentKey cryptoutil.PublicKey) (ShardTable, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tables[keyID(contentKey)]
+	if !ok {
+		return ShardTable{}, ErrNoShardTable
+	}
+	return t, nil
+}

@@ -135,6 +135,41 @@ func ValidateOp(b []byte) error {
 	return r.Done()
 }
 
+// KeyOf returns the key an op addresses (shard routing input).
+func KeyOf(op Op) string {
+	switch o := op.(type) {
+	case Put:
+		return o.Key
+	case Delete:
+		return o.Key
+	case Append:
+		return o.Key
+	}
+	return ""
+}
+
+// OpKey extracts the addressed key from an encoded op without
+// materializing the rest of it: masters route or reject writes by key at
+// admission, before the op is ever applied.
+func OpKey(b []byte) (string, error) {
+	r := wire.GetReader(b)
+	defer wire.PutReader(r)
+	kind := r.Byte()
+	switch kind {
+	case opPut, opDelete, opAppend:
+		key := r.String()
+		if err := r.Err(); err != nil {
+			return "", err
+		}
+		return key, nil
+	default:
+		if err := r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("store: unknown op kind %d", kind)
+	}
+}
+
 // DecodeOp parses an op from its wire form.
 func DecodeOp(b []byte) (Op, error) {
 	r := wire.NewReader(b)

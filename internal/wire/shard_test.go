@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardRefRoundTrip(t *testing.T) {
+	refs := []ShardRef{
+		{},
+		{ID: 3, Lo: "catalog/00010", Hi: "catalog/00020"},
+		{ID: 0xffffffff, Lo: "", Hi: "m"},
+		{ID: 1, Lo: "k\x00odd\xffbytes", Hi: ""},
+	}
+	for _, ref := range refs {
+		w := NewWriter(64)
+		ref.Encode(w)
+		got, err := DecodeShardRef(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", ref, err)
+		}
+		if got != ref {
+			t.Fatalf("round trip: got %v, want %v", got, ref)
+		}
+	}
+}
+
+func TestShardRefContains(t *testing.T) {
+	full := ShardRef{}
+	if !full.IsFull() || !full.Contains("") || !full.Contains("anything") {
+		t.Fatal("zero ShardRef must cover the whole keyspace")
+	}
+	mid := ShardRef{Lo: "b", Hi: "d"}
+	for key, want := range map[string]bool{
+		"a": false, "b": true, "bzz": true, "c": true,
+		"d": false, "dz": false, "z": false,
+	} {
+		if mid.Contains(key) != want {
+			t.Fatalf("[b,d).Contains(%q) = %v, want %v", key, !want, want)
+		}
+	}
+	open := ShardRef{Lo: "m"}
+	if open.Contains("a") || !open.Contains("m") || !open.Contains("zzz") {
+		t.Fatal("[m, +inf) bounds wrong")
+	}
+	if open.IsFull() {
+		t.Fatal("half-open shard reported full")
+	}
+}
+
+func TestShardTokenRoundTrip(t *testing.T) {
+	refs := []ShardRef{
+		{},
+		{ID: 7, Lo: "catalog/00010", Hi: "catalog/00020"},
+		{ID: 2, Lo: "with space", Hi: "and:colon"},
+	}
+	for _, ref := range refs {
+		// The token must survive embedding in an error string, which is
+		// how it crosses the RPC boundary.
+		msg := fmt.Sprintf("core: wrong shard: key outside range; authoritative %s (retry)", ref.Token())
+		got, ok := ParseShardToken(msg)
+		if !ok {
+			t.Fatalf("token not found in %q", msg)
+		}
+		if got != ref {
+			t.Fatalf("parsed %v, want %v", got, ref)
+		}
+	}
+	for _, bad := range []string{"", "no token here", "shard=", "shard=1:zz:", "shard=x:61:62"} {
+		if _, ok := ParseShardToken(bad); ok {
+			t.Fatalf("ParseShardToken(%q) = ok, want failure", bad)
+		}
+	}
+}
