@@ -7,9 +7,11 @@
 #                     E15 batch-throughput, E16 checkpointing, E17
 #                     crash-recovery, E18 hot-path, and E19 shard-scaling
 #                     benchmarks emitting BENCH_e15.json … BENCH_e19.json (the
-#                     perf trajectory record), a short fuzz smoke over
-#                     the wire/merkle decoders, plus the README
-#                     package-map completeness check.
+#                     perf trajectory record), the workload × fault
+#                     matrix emitting BENCH_matrix.json (smoke grid;
+#                     MATRIX_FULL=1 runs the exhaustive grid), a short
+#                     fuzz smoke over the wire/merkle decoders, plus the
+#                     README package-map completeness check.
 #   make lint       — repllint (the in-tree go/analysis suite under
 #                     internal/analysis: poolcheck, lockcheck,
 #                     trustcheck, timercheck), then staticcheck and
@@ -21,9 +23,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 fuzz-smoke check-readme bench profile
+.PHONY: verify build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 bench-matrix fuzz-smoke check-readme bench profile
 
-verify: build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 fuzz-smoke check-readme
+verify: build vet lint race bench-e15 bench-e16 bench-e17 bench-e18 bench-e19 bench-matrix fuzz-smoke check-readme
 
 build:
 	$(GO) build ./...
@@ -66,6 +68,14 @@ bench-e18:
 bench-e19:
 	$(GO) test -run '^$$' -bench BenchmarkE19 -benchtime 1x -json . > BENCH_e19.json
 	@grep -c '"Action"' BENCH_e19.json >/dev/null && echo "wrote BENCH_e19.json"
+
+# The workload × fault matrix: every cell must end converged with zero
+# lost/duplicated writes or the run (and so `make verify`) fails. The
+# default smoke grid is CI-sized; MATRIX_FULL=1 runs the exhaustive
+# cross product.
+bench-matrix:
+	$(GO) run ./cmd/replsim -matrix -matrixout BENCH_matrix.json
+	@echo "wrote BENCH_matrix.json"
 
 # Short native-fuzz runs over the two untrusted-input decoders. The
 # checked-in corpora under testdata/fuzz/ replay in plain `go test`;

@@ -9,6 +9,7 @@
 //	replsim -scenario -masters 3 -slaves 4 -clients 8 -liars 2 -duration 2m
 //	replsim -scenario -clients 16 -writeevery 2 -batch 16 -maxlatency 10ms
 //	replsim -scenario -writeevery 2 -batch 16 -checkpoint 1s -duration 5m
+//	replsim -matrix [-matrixout BENCH_matrix.json] [-matrixfull]
 package main
 
 import (
@@ -23,13 +24,16 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		expList  = flag.String("exp", "", "comma-separated experiment ids (e.g. E1,E7)")
-		all      = flag.Bool("all", false, "run every experiment")
-		scenario = flag.Bool("scenario", false, "run a free-form scenario from the scenario flags")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		scale    = flag.Int("scale", 1, "divide experiment sizes by this factor (1 = full)")
-		markdown = flag.Bool("markdown", false, "emit tables as markdown")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		expList    = flag.String("exp", "", "comma-separated experiment ids (e.g. E1,E7)")
+		all        = flag.Bool("all", false, "run every experiment")
+		scenario   = flag.Bool("scenario", false, "run a free-form scenario from the scenario flags")
+		matrixOn   = flag.Bool("matrix", false, "run the workload × fault matrix and write the consolidated report")
+		matrixOut  = flag.String("matrixout", "BENCH_matrix.json", "matrix report output path")
+		matrixFull = flag.Bool("matrixfull", os.Getenv("MATRIX_FULL") != "", "run the full grid instead of the smoke grid (also via MATRIX_FULL=1)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		scale      = flag.Int("scale", 1, "divide experiment sizes by this factor (1 = full)")
+		markdown   = flag.Bool("markdown", false, "emit tables as markdown")
 	)
 	scFlags := registerScenarioFlags()
 	flag.Parse()
@@ -38,6 +42,15 @@ func main() {
 
 	if *scenario {
 		runScenario(*seed, scFlags)
+		return
+	}
+
+	if *matrixOn {
+		code := runMatrix(*seed, *matrixOut, *matrixFull, *markdown)
+		if code != 0 {
+			stopProfiles() // os.Exit skips the deferred call
+			os.Exit(code)
+		}
 		return
 	}
 

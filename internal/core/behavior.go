@@ -76,6 +76,71 @@ func (t TargetedLie) Corrupt(queryBytes, truePayload []byte, _ *rand.Rand) []byt
 
 func (t TargetedLie) String() string { return "targeted-lie" }
 
+// AckForger is an optional Behavior extension for slaves that falsify
+// the applied-version acknowledgements driving checkpoint stability.
+// ForgeAck receives the honestly applied store version and the newest
+// version the slave has seen stamped, and returns the version the slave
+// acknowledges instead. Honest slaves do not implement it: their ack is
+// always the applied version.
+type AckForger interface {
+	ForgeAck(applied, seen uint64) uint64
+}
+
+// UpdateDropper is an optional Behavior extension: while DropUpdates
+// reports true the slave discards pushed state updates and declines to
+// sync, modelling a wedged or malicious replica that stops applying
+// while remaining responsive on the wire.
+type UpdateDropper interface {
+	DropUpdates() bool
+}
+
+// LieAcks models the lying-slave-during-truncation attack on the
+// checkpoint gating logic: the slave stops applying updates entirely yet
+// acknowledges the newest version it has seen stamped plus Ahead, trying
+// to drag the master's stable version forward into truncating evidence
+// it never applied. Reads self-neutralize — with its stamp ahead of the
+// wedged replica the slave refuses reads rather than pledge a version it
+// does not hold — so the whole attack surface is the ack channel.
+type LieAcks struct {
+	// Ahead is an extra forged offset past the newest seen version,
+	// probing for versions the master has not even committed (masters
+	// clamp such acks to their committed version).
+	Ahead uint64
+}
+
+// Corrupt implements Behavior; the lie is in the acks, not the reads.
+func (LieAcks) Corrupt(_, _ []byte, _ *rand.Rand) []byte { return nil }
+
+func (LieAcks) String() string { return "lie-acks" }
+
+// DropUpdates implements UpdateDropper: nothing is ever applied.
+func (LieAcks) DropUpdates() bool { return true }
+
+// ForgeAck implements AckForger: acknowledge the newest seen version
+// plus Ahead, regardless of what was applied.
+func (l LieAcks) ForgeAck(applied, seen uint64) uint64 {
+	if seen > applied {
+		applied = seen
+	}
+	return applied + l.Ahead
+}
+
+// WithholdAcks models the slow-slave checkpoint-gating attack: the slave
+// applies updates normally (so it keeps serving correct reads) but
+// acknowledges version 0 forever, trying to pin the master's entire
+// history in memory. The maxAckBehind policy bounds the damage: once the
+// store outruns the forged ack by more than the policy window the slave
+// stops gating stability and truncation proceeds.
+type WithholdAcks struct{}
+
+// Corrupt implements Behavior; reads stay honest.
+func (WithholdAcks) Corrupt(_, _ []byte, _ *rand.Rand) []byte { return nil }
+
+func (WithholdAcks) String() string { return "withhold-acks" }
+
+// ForgeAck implements AckForger: never acknowledge anything.
+func (WithholdAcks) ForgeAck(_, _ uint64) uint64 { return 0 }
+
 // flipPayload produces a deterministic corruption of a payload that (a)
 // always differs from the original and (b) is the same for every slave
 // corrupting the same payload — so colluding slaves in the k-slave

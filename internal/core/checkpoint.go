@@ -172,6 +172,14 @@ func (m *Master) recordAck(addr string, version uint64) {
 	if !member {
 		return
 	}
+	// Clamp to the committed version: slaves are untrusted, and an ack
+	// for a version this master never committed is a fabrication. Left
+	// unclamped it would sit in the ack table until the store caught up
+	// and then enter the stability minimum, letting a lying slave
+	// pre-acknowledge history it has not applied.
+	if cur := m.store.Version(); version > cur {
+		version = cur
+	}
 	a := m.acks[addr]
 	if version > a.version {
 		a.version = version

@@ -41,12 +41,12 @@ type ShardRouter struct {
 	dir        DirectoryService
 	contentKey cryptoutil.PublicKey
 
-	mu       sync.Mutex
-	table    pki.ShardTable              // guarded by mu
-	masters  map[uint32][]pki.Certificate // guarded by mu; shard id -> verified master certs
-	auditors map[uint32]pki.Certificate   // guarded by mu; shard id -> verified auditor cert
-	valid    bool                         // guarded by mu
-	refreshes uint64                      // guarded by mu
+	mu        sync.Mutex
+	table     pki.ShardTable               // guarded by mu
+	masters   map[uint32][]pki.Certificate // guarded by mu; shard id -> verified master certs
+	auditors  map[uint32]pki.Certificate   // guarded by mu; shard id -> verified auditor cert
+	valid     bool                         // guarded by mu
+	refreshes uint64                       // guarded by mu
 }
 
 // NewShardRouter returns a router over the directory for the content.
@@ -191,7 +191,7 @@ func (v shardDirView) ShardMap() (pki.ShardTable, []pki.Certificate, error) {
 	return v.dir.ShardMap()
 }
 
-func (v shardDirView) Publish(cert pki.Certificate) error   { return v.dir.Publish(cert) }
+func (v shardDirView) Publish(cert pki.Certificate) error    { return v.dir.Publish(cert) }
 func (v shardDirView) Withdraw(s cryptoutil.PublicKey) error { return v.dir.Withdraw(s) }
 func (v shardDirView) RecordExclusion(e pki.Exclusion) error { return v.dir.RecordExclusion(e) }
 func (v shardDirView) IsExcluded(s cryptoutil.PublicKey) (bool, error) {

@@ -237,7 +237,7 @@ func (s *Slave) handleKeepAlive(from string, body []byte) ([]byte, error) {
 	}
 	// A keep-alive for a version ahead of the replica means updates were
 	// lost; recover them in the background.
-	if stamp.Version > s.store.Version() {
+	if stamp.Version > s.store.Version() && !s.droppingLocked() {
 		syncAddr := s.cfg.MasterAddr
 		s.rt.Spawn(func() { s.syncFrom(syncAddr) })
 	}
@@ -248,10 +248,24 @@ func (s *Slave) handleKeepAlive(from string, body []byte) ([]byte, error) {
 
 // ackLocked encodes the slave's applied-version acknowledgement, the
 // reply body for keep-alives and updates. Caller holds s.mu. The frame
-// is detached (reply bodies are retained by the transport).
+// is detached (reply bodies are retained by the transport). An AckForger
+// behaviour substitutes its forged version here — the ack channel is the
+// attack surface of the checkpoint-gating threat model.
 func (s *Slave) ackLocked() []byte {
 	v := s.store.Version()
+	if f, ok := s.cfg.Behavior.(AckForger); ok {
+		v = f.ForgeAck(v, s.lastStamp.Version)
+	}
 	return wire.EncodeFrame(func(w *wire.Writer) { w.Uvarint(v) })
+}
+
+// droppingLocked reports whether the behaviour model currently discards
+// state updates (and therefore must not sync either — a dropper that
+// synced would quietly repair the very gap it is creating). Caller
+// holds s.mu.
+func (s *Slave) droppingLocked() bool {
+	d, ok := s.cfg.Behavior.(UpdateDropper)
+	return ok && d.DropUpdates()
 }
 
 func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
@@ -279,8 +293,12 @@ func (s *Slave) handleUpdate(from string, body []byte) ([]byte, error) {
 	}
 	syncAddr := s.cfg.MasterAddr
 	cur := s.store.Version()
+	dropping := s.droppingLocked()
 	s.mu.Unlock()
 	switch {
+	case dropping:
+		// The behaviour model discards the update (it still takes the
+		// fresher stamp below, which an AckForger acks from).
 	case version <= cur:
 		// Duplicate delivery; still take the fresher stamp.
 	case version == cur+1:
@@ -354,8 +372,12 @@ func (s *Slave) handleUpdateBatch(from string, body []byte) ([]byte, error) {
 
 	s.mu.Lock()
 	cur := s.store.Version()
+	dropping := s.droppingLocked()
 	s.mu.Unlock()
 	switch {
+	case dropping:
+		// The behaviour model discards the whole batch (it still takes
+		// the fresher stamp below, which an AckForger acks from).
 	case bu.Last() <= cur:
 		// Duplicate delivery; still take the fresher stamp below.
 	case bu.First > cur+1:

@@ -11,6 +11,21 @@
 // sim.Sim + rpc.SimNet; experiments drive workloads against it in
 // virtual time and read the role stats afterwards.
 //
+// # Scripted fault schedules
+//
+// A FaultPlan is a named list of FaultEvents applied at fixed offsets
+// by Scenario.StartFaults; the vocabulary (FaultKind) covers behaviour
+// swaps (FaultSetBehavior — lying reads via core.AlwaysLie and kin,
+// forged acks via core.LieAcks, withheld acks via core.WithholdAcks),
+// master kills and restarts, slave partitions (FaultIsolateSlave /
+// FaultHealSlave — traffic lost in flight, process alive), default
+// link-latency changes, and per-slave clock skew (FaultSkewSlave,
+// backed by the sim.SkewedRuntime each slave runs on). After a run,
+// ConvergedDigests / DivergentReplicas give the quiesced convergence
+// check and TotalMasterStats folds in instances retired by
+// RestartMaster. internal/matrix crosses these plans with workload
+// cells; tests script them directly (see faults.go).
+//
 // Timing gotchas when writing experiments (the sim package doc has the
 // full list): a Scenario's sim can be Run only once, so express phases
 // as one task chain; Params.KeepAliveEvery doubles as the broadcast RPC

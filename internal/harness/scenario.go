@@ -115,6 +115,11 @@ type Scenario struct {
 	// Groups maps each shard to its masters/slaves/auditor.
 	Groups []GroupRefs
 
+	// SlaveClocks are the per-slave skewable clocks (one per entry of
+	// Slaves): fault plans set an offset to model clock skew, zero
+	// restores the true clock.
+	SlaveClocks []*sim.SkewedRuntime
+
 	MasterCPU  []*sim.Resource
 	SlaveCPU   []*sim.Resource
 	AuditorCPU *sim.Resource
@@ -123,6 +128,13 @@ type Scenario struct {
 	// RestartMaster can rebuild it after a kill.
 	masterCfgs   []core.MasterConfig
 	masterSlaves [][]slaveRef
+
+	// retired accumulates the final counters of master instances replaced
+	// by RestartMaster, so totals survive crash-restart cells. WAL replay
+	// counts only WALReplayed on the fresh instance — never WritesApplied
+	// or BatchesApplied — so adding retired and live counters cannot
+	// double-count a write.
+	retired core.MasterStats
 
 	clientN int
 }
@@ -280,6 +292,10 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 				}
 				cpu := s.NewResource(addr+"/cpu", cfg.SlaveCPUs)
 				sc.SlaveCPU = append(sc.SlaveCPU, cpu)
+				// Every slave runs on a skewable clock so fault plans can
+				// shift it mid-run; with zero skew it is the sim clock.
+				clock := sim.NewSkewedRuntime(s)
+				sc.SlaveClocks = append(sc.SlaveClocks, clock)
 				sl := core.NewSlave(core.SlaveConfig{
 					Addr:       addr,
 					Keys:       keys,
@@ -289,7 +305,7 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 					Behavior:   behavior,
 					CPU:        cpu,
 					Seed:       cfg.Seed*2000 + int64(slaveIdx),
-				}, s, sc.Net.Dialer(addr), sc.Initial)
+				}, clock, sc.Net.Dialer(addr), sc.Initial)
 				group.Slaves = append(group.Slaves, len(sc.Slaves))
 				sc.Slaves = append(sc.Slaves, sl)
 				sc.Net.Register(addr, sl.Handle)
@@ -417,8 +433,12 @@ func (sc *Scenario) KillMaster(i int) {
 // RestartMaster brings a killed master back with the same identity and
 // configuration: a fresh process over the same DataDir. With durable
 // state it replays snapshot+WAL and syncs the remaining gap from a peer
-// instead of reprovisioning. The new instance replaces Masters[i].
+// instead of reprovisioning. The new instance replaces Masters[i]; the
+// old instance's counters are folded into the retired accumulator so
+// TotalMasterStats keeps counting the whole deployment's work across
+// crash-restart cycles.
 func (sc *Scenario) RestartMaster(i int) *core.Master {
+	addMasterStats(&sc.retired, sc.Masters[i].Stats())
 	m, err := core.NewMaster(sc.masterCfgs[i], sc.S, sc.Net.Dialer(sc.masterCfgs[i].Addr), sc.Initial)
 	if err != nil {
 		panic(err)
@@ -453,33 +473,45 @@ func (sc *Scenario) TotalSlaveStats() core.SlaveStats {
 	return t
 }
 
-// TotalMasterStats sums the counters over all masters.
+// addMasterStats folds st into dst field by field. Shared by
+// TotalMasterStats and the retired-instance accumulator so a counter
+// added to core.MasterStats only needs listing once.
+func addMasterStats(dst *core.MasterStats, st core.MasterStats) {
+	dst.WritesAdmitted += st.WritesAdmitted
+	dst.WritesApplied += st.WritesApplied
+	dst.WrongShardRejects += st.WrongShardRejects
+	dst.DirectoryErrors += st.DirectoryErrors
+	dst.BatchesApplied += st.BatchesApplied
+	dst.BatchFlushFull += st.BatchFlushFull
+	dst.BatchFlushTimer += st.BatchFlushTimer
+	dst.WritePacingWaits += st.WritePacingWaits
+	dst.DoubleChecks += st.DoubleChecks
+	dst.DoubleChecksDrop += st.DoubleChecksDrop
+	dst.SensitiveReads += st.SensitiveReads
+	dst.Reports += st.Reports
+	dst.Exclusions += st.Exclusions
+	dst.SyncsServed += st.SyncsServed
+	dst.SnapshotSyncs += st.SnapshotSyncs
+	dst.CheckpointsProposed += st.CheckpointsProposed
+	dst.CheckpointsApplied += st.CheckpointsApplied
+	dst.OpsTruncated += st.OpsTruncated
+	dst.WALReplayed += st.WALReplayed
+	dst.RecoverySyncs += st.RecoverySyncs
+	dst.SnapshotRefreshes += st.SnapshotRefreshes
+	dst.KeepAlivesSent += st.KeepAlivesSent
+	dst.UpdatesSent += st.UpdatesSent
+	dst.ClientsNotified += st.ClientsNotified
+	dst.SlavesAdopted += st.SlavesAdopted
+}
+
+// TotalMasterStats sums the counters over all masters, including
+// instances retired by RestartMaster — a crash-restart cell neither
+// drops the killed instance's work nor double-counts it (WAL replay
+// counts as WALReplayed, not WritesApplied).
 func (sc *Scenario) TotalMasterStats() core.MasterStats {
-	var t core.MasterStats
+	t := sc.retired
 	for _, m := range sc.Masters {
-		st := m.Stats()
-		t.WritesAdmitted += st.WritesAdmitted
-		t.WritesApplied += st.WritesApplied
-		t.WrongShardRejects += st.WrongShardRejects
-		t.DirectoryErrors += st.DirectoryErrors
-		t.BatchesApplied += st.BatchesApplied
-		t.BatchFlushFull += st.BatchFlushFull
-		t.BatchFlushTimer += st.BatchFlushTimer
-		t.WritePacingWaits += st.WritePacingWaits
-		t.DoubleChecks += st.DoubleChecks
-		t.DoubleChecksDrop += st.DoubleChecksDrop
-		t.SensitiveReads += st.SensitiveReads
-		t.Reports += st.Reports
-		t.Exclusions += st.Exclusions
-		t.SyncsServed += st.SyncsServed
-		t.SnapshotSyncs += st.SnapshotSyncs
-		t.CheckpointsProposed += st.CheckpointsProposed
-		t.CheckpointsApplied += st.CheckpointsApplied
-		t.OpsTruncated += st.OpsTruncated
-		t.KeepAlivesSent += st.KeepAlivesSent
-		t.UpdatesSent += st.UpdatesSent
-		t.ClientsNotified += st.ClientsNotified
-		t.SlavesAdopted += st.SlavesAdopted
+		addMasterStats(&t, m.Stats())
 	}
 	return t
 }

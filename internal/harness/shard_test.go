@@ -130,6 +130,146 @@ func TestWrongShardRedirectStormConverges(t *testing.T) {
 	}
 }
 
+// TestEpochBumpMidWaveConverges is the rebalance-adjacent race: writers
+// are mid-wave when the directory publishes a poisoned epoch bump (the
+// real ranges with the group ids swapped) that the clients adopt by
+// forced re-resolution, followed by the corrected epoch. Writes issued
+// across all three routing regimes — pre-bump, poisoned, corrected —
+// must each land exactly once in their true group: redirects observed,
+// masters rejecting every misroute, zero lost, zero duplicated.
+func TestEpochBumpMidWaveConverges(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.Seed = 13
+	cfg.NMasters = 1
+	cfg.SlavesPerMaster = 1
+	cfg.Shards = 2
+	cfg.CatalogSize = 40
+	cfg.DocCount = 2
+	cfg.Params.MaxLatency = 10 * time.Millisecond
+	sc := NewScenario(cfg)
+
+	clients := []*core.ShardedClient{sc.AddShardClient(nil), sc.AddShardClient(nil)}
+	const writesPerClient = 30
+	type commit struct {
+		group   int
+		version uint64
+	}
+	var commits []commit
+	var runErr error
+	writersDone := 0
+	sc.S.Go(func() {
+		sc.S.Sleep(sc.Warmup())
+		for _, c := range clients {
+			if err := c.Setup(); err != nil {
+				runErr = err
+				sc.S.Stop()
+				return
+			}
+		}
+		for w := range clients {
+			w := w
+			cl := clients[w]
+			sc.S.Spawn(func() {
+				defer func() { writersDone++ }()
+				for i := 0; i < writesPerClient; i++ {
+					k := (w*17 + i*3) % cfg.CatalogSize
+					op := store.Put{Key: workload.CatalogKey(k), Value: []byte{byte(w), byte(i)}}
+					v, err := cl.Write(op)
+					if err != nil {
+						runErr = fmt.Errorf("writer %d write %d: %w", w, i, err)
+						return
+					}
+					g := int(sc.Table.ShardFor(workload.CatalogKey(k)).ID)
+					commits = append(commits, commit{g, v})
+					if sc.S.Sleep(5*time.Millisecond) != nil {
+						return
+					}
+				}
+			})
+		}
+
+		// Mid-wave: the poisoned epoch lands and both clients are forced
+		// to re-resolve it while their writes are in flight.
+		sc.S.Sleep(60 * time.Millisecond)
+		wrong := pki.ShardTable{Epoch: 2}
+		n := len(sc.Table.Shards)
+		for i, s := range sc.Table.Shards {
+			s.ID = sc.Table.Shards[n-1-i].ID
+			wrong.Shards = append(wrong.Shards, s)
+		}
+		wrong.Sign(sc.Owner)
+		if err := sc.Dir.PublishShardTable(sc.Owner.Public, wrong); err != nil {
+			runErr = err
+			sc.S.Stop()
+			return
+		}
+		for _, c := range clients {
+			if err := c.Setup(); err != nil { // adopts the poisoned epoch
+				runErr = err
+				sc.S.Stop()
+				return
+			}
+		}
+		// The correction supersedes it; clients only learn through the
+		// wrong-shard rejections their poisoned routes now earn.
+		fixed := pki.ShardTable{Epoch: 3, Shards: append([]wire.ShardRef(nil), sc.Table.Shards...)}
+		fixed.Sign(sc.Owner)
+		if err := sc.Dir.PublishShardTable(sc.Owner.Public, fixed); err != nil {
+			runErr = err
+			sc.S.Stop()
+			return
+		}
+
+		for writersDone < len(clients) {
+			sc.S.Sleep(10 * time.Millisecond)
+		}
+		sc.S.Sleep(500 * time.Millisecond) // let replication settle
+		sc.S.Stop()
+	})
+	sc.Run(time.Minute)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	if len(commits) != len(clients)*writesPerClient {
+		t.Fatalf("committed %d writes, want %d", len(commits), len(clients)*writesPerClient)
+	}
+	var redirects uint64
+	for _, c := range clients {
+		st, _ := c.Stats()
+		redirects += st.Redirects
+	}
+	if redirects == 0 {
+		t.Fatal("poisoned epoch produced no redirects — the bump never raced the wave")
+	}
+	if ms := sc.TotalMasterStats(); ms.WrongShardRejects == 0 {
+		t.Fatal("no master rejected a misrouted write")
+	}
+	// Exactly once, in the true group: per group, acked versions must be
+	// distinct and the group's applied-write counter must equal its
+	// share of the ledger.
+	perGroup := make([]map[uint64]bool, len(sc.Groups))
+	for g := range perGroup {
+		perGroup[g] = make(map[uint64]bool)
+	}
+	for _, c := range commits {
+		if c.version == 0 {
+			t.Fatal("acked write carries version 0")
+		}
+		if perGroup[c.group][c.version] {
+			t.Fatalf("group %d version %d acked twice (duplicated write)", c.group, c.version)
+		}
+		perGroup[c.group][c.version] = true
+	}
+	for g := range perGroup {
+		got := sc.Masters[sc.Groups[g].Masters[0]].Stats().WritesApplied
+		if got != uint64(len(perGroup[g])) {
+			t.Fatalf("group %d applied %d writes, ledger has %d (lost or duplicated)",
+				g, got, len(perGroup[g]))
+		}
+	}
+}
+
 // TestShardedBatchSequentialDigestEquivalence is the per-shard batching
 // property: the same write sequence pushed through a sharded deployment
 // must leave every group's replica in the identical state whether its

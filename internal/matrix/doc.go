@@ -1,0 +1,21 @@
+// Package matrix runs the declarative workload × fault experiment
+// matrix: every Cell crosses a key-popularity distribution (Zipf vs.
+// uniform), a query mix (read-mostly, write-heavy, scan-heavy), a
+// simulated client population, and a shard count against one scripted
+// fault schedule from the plan library (lying slave, withheld acks,
+// master crash-restart, network partition, link-latency spike, clock
+// skew — or none).
+//
+// Each cell builds a fresh deterministic scenario, drives Poisson
+// client traffic for the cell's duration while the fault plan fires,
+// then quiesces and checks the ground truth the paper's replication
+// protocol promises: every honest replica converges to the master's
+// state digest, and no acknowledged write is lost or duplicated (the
+// per-group committed-version ledger must be duplicate-free and lie
+// within the final history). Throughput and commit/read latency
+// quantiles ride along in the Result.
+//
+// SmokeGrid is the CI-sized grid behind `make bench-matrix` (and, via
+// MATRIX_FULL=1, FullGrid); cmd/replsim's -matrix mode consolidates
+// the results into one BENCH_matrix.json trajectory document.
+package matrix

@@ -1,0 +1,68 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestIsolateCutsBothDirections: an isolated node's inbound and
+// outbound traffic is lost in flight — a partition, not a crash: the
+// handler stays registered and never runs.
+func TestIsolateCutsBothDirections(t *testing.T) {
+	s := sim.New(5)
+	net := NewSimNet(s, sim.Const(time.Millisecond))
+	served := 0
+	net.Register("island", func(from, method string, body []byte) ([]byte, error) {
+		served++
+		return []byte("ok"), nil
+	})
+	net.Register("mainland", func(from, method string, body []byte) ([]byte, error) {
+		served++
+		return []byte("ok"), nil
+	})
+	net.Isolate("island", true)
+	toIsland := net.Dialer("mainland")
+	fromIsland := net.Dialer("island")
+	var inErr, outErr error
+	s.Go(func() {
+		_, inErr = toIsland.CallTimeout("island", "x", nil, 20*time.Millisecond)
+		_, outErr = fromIsland.CallTimeout("mainland", "x", nil, 20*time.Millisecond)
+	})
+	s.Run()
+	if !errors.Is(inErr, ErrTimeout) {
+		t.Fatalf("inbound err = %v, want timeout", inErr)
+	}
+	if !errors.Is(outErr, ErrTimeout) {
+		t.Fatalf("outbound err = %v, want timeout", outErr)
+	}
+	if served != 0 {
+		t.Fatalf("handler ran %d times across the partition", served)
+	}
+	if net.Dropped() == 0 {
+		t.Fatal("partition losses not counted")
+	}
+}
+
+// TestIsolateHeals: lifting the partition restores traffic with no
+// other state change.
+func TestIsolateHeals(t *testing.T) {
+	s := sim.New(6)
+	net := NewSimNet(s, sim.Const(time.Millisecond))
+	net.Register("island", func(from, method string, body []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	net.Isolate("island", true)
+	net.Isolate("island", false)
+	d := net.Dialer("mainland")
+	var err error
+	s.Go(func() {
+		_, err = d.CallTimeout("island", "x", nil, 20*time.Millisecond)
+	})
+	s.Run()
+	if err != nil {
+		t.Fatalf("healed partition still losing traffic: %v", err)
+	}
+}

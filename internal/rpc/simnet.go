@@ -14,9 +14,10 @@ type SimNet struct {
 	S              *sim.Sim
 	DefaultLatency sim.Latency
 
-	nodes map[string]*simNode
-	links map[linkKey]sim.Latency
-	drops map[linkKey]float64 // per-link message loss probability
+	nodes    map[string]*simNode
+	links    map[linkKey]sim.Latency
+	drops    map[linkKey]float64 // per-link message loss probability
+	isolated map[string]bool     // partitioned addresses: all their traffic is lost
 
 	// DefaultDrop is the loss probability applied to links without an
 	// override. A lost request or reply surfaces to the caller as a
@@ -48,6 +49,7 @@ func NewSimNet(s *sim.Sim, def sim.Latency) *SimNet {
 		nodes:          make(map[string]*simNode),
 		links:          make(map[linkKey]sim.Latency),
 		drops:          make(map[linkKey]float64),
+		isolated:       make(map[string]bool),
 	}
 }
 
@@ -89,7 +91,23 @@ func (n *SimNet) SetDropBoth(a, b string, p float64) {
 	n.SetDrop(b, a, p)
 }
 
+// Isolate cuts addr off the network (true) or reconnects it (false):
+// every message to or from an isolated address is lost in flight. Unlike
+// SetDown this is a partition, not a crash — the node keeps running and,
+// from its own point of view, it is everyone else who went silent.
+func (n *SimNet) Isolate(addr string, isolated bool) {
+	if isolated {
+		n.isolated[addr] = true
+	} else {
+		delete(n.isolated, addr)
+	}
+}
+
 func (n *SimNet) lost(from, to string) bool {
+	if n.isolated[from] || n.isolated[to] {
+		n.dropped++
+		return true
+	}
 	p, ok := n.drops[linkKey{from, to}]
 	if !ok {
 		p = n.DefaultDrop

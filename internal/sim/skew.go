@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SkewedRuntime wraps a Runtime with a mutable clock offset, modelling a
+// node whose local clock reads ahead of (positive skew) or behind
+// (negative skew) the true time. Only Now is affected: sleeps and
+// spawned tasks still schedule at the true rate, like a machine whose
+// timers tick correctly but whose wall clock is set wrong — the failure
+// mode that matters for the protocol's freshness checks (§3.1), which
+// compare master-signed timestamps against the local clock.
+//
+// The offset is adjustable at any time (fault schedules skew a node
+// mid-run), so it is read and written atomically.
+type SkewedRuntime struct {
+	rt   Runtime
+	skew atomic.Int64 // nanoseconds added to Now
+}
+
+// NewSkewedRuntime wraps rt with an initially-zero skew.
+func NewSkewedRuntime(rt Runtime) *SkewedRuntime {
+	return &SkewedRuntime{rt: rt}
+}
+
+// SetSkew sets the clock offset; zero restores the true clock.
+func (s *SkewedRuntime) SetSkew(d time.Duration) { s.skew.Store(int64(d)) }
+
+// Skew returns the current clock offset.
+func (s *SkewedRuntime) Skew() time.Duration { return time.Duration(s.skew.Load()) }
+
+// Now returns the underlying time shifted by the current skew.
+func (s *SkewedRuntime) Now() time.Time { return s.rt.Now().Add(s.Skew()) }
+
+// Sleep pauses for d of true (unskewed) time.
+func (s *SkewedRuntime) Sleep(d time.Duration) error { return s.rt.Sleep(d) }
+
+// Spawn starts fn on the underlying runtime.
+func (s *SkewedRuntime) Spawn(fn func()) { s.rt.Spawn(fn) }
+
+var _ Runtime = (*SkewedRuntime)(nil)

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSkewedRuntimeOffsetsNowOnly: skew shifts what the clock reads but
+// not how timers fire — a skewed node is wrong about the time, not
+// running at a different rate.
+func TestSkewedRuntimeOffsetsNowOnly(t *testing.T) {
+	s := New(1)
+	rt := NewSkewedRuntime(s)
+	var observed struct {
+		before, during, after time.Duration // Now() minus true sim time
+		slept                 time.Duration
+	}
+	s.Go(func() {
+		observed.before = rt.Now().Sub(s.Now())
+		rt.SetSkew(-250 * time.Millisecond)
+		observed.during = rt.Now().Sub(s.Now())
+
+		t0 := s.Now()
+		if err := rt.Sleep(100 * time.Millisecond); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		observed.slept = s.Now().Sub(t0)
+
+		rt.SetSkew(0)
+		observed.after = rt.Now().Sub(s.Now())
+		s.Stop()
+	})
+	s.RunUntil(Epoch.Add(time.Hour))
+
+	if observed.before != 0 {
+		t.Fatalf("zero-skew offset = %v", observed.before)
+	}
+	if observed.during != -250*time.Millisecond {
+		t.Fatalf("skewed offset = %v, want -250ms", observed.during)
+	}
+	// Timers tick true-rate regardless of skew.
+	if observed.slept != 100*time.Millisecond {
+		t.Fatalf("skewed sleep took %v true time, want 100ms", observed.slept)
+	}
+	if observed.after != 0 {
+		t.Fatalf("offset after reset = %v", observed.after)
+	}
+}
+
+// TestSkewedRuntimeSpawn: spawned work runs on the underlying sim.
+func TestSkewedRuntimeSpawn(t *testing.T) {
+	s := New(2)
+	rt := NewSkewedRuntime(s)
+	ran := false
+	s.Go(func() {
+		rt.Spawn(func() { ran = true })
+		s.Sleep(time.Millisecond)
+		s.Stop()
+	})
+	s.RunUntil(Epoch.Add(time.Hour))
+	if !ran {
+		t.Fatal("spawned task never ran")
+	}
+}

@@ -53,6 +53,12 @@ func BuildContent(nCatalog, nDocs int) *store.Store {
 	return s
 }
 
+// KeyDist draws key indexes from a popularity distribution. The matrix
+// crosses Zipf-skewed (Keys) against uniform (UniformKeys) popularity.
+type KeyDist interface {
+	Next() int
+}
+
 // Keys draws catalog indexes with Zipf popularity.
 type Keys struct {
 	zipf *rand.Zipf
@@ -66,6 +72,21 @@ func NewKeys(rng *rand.Rand, n int) *Keys {
 
 // Next returns the next key index.
 func (k *Keys) Next() int { return int(k.zipf.Uint64()) }
+
+// UniformKeys draws catalog indexes uniformly — the skew-free contrast
+// case in the workload matrix.
+type UniformKeys struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniformKeys creates a uniform distribution over n keys.
+func NewUniformKeys(rng *rand.Rand, n int) *UniformKeys {
+	return &UniformKeys{rng: rng, n: n}
+}
+
+// Next returns the next key index.
+func (u *UniformKeys) Next() int { return u.rng.Intn(u.n) }
 
 // Mix describes the query mix as weights; they need not sum to one.
 type Mix struct {
@@ -86,21 +107,41 @@ func DefaultMix() Mix {
 // StaticOnly is a mix of point reads only (state-signing's sweet spot).
 func StaticOnly() Mix { return Mix{Get: 1} }
 
+// ReadMostly is the matrix's point-read-dominated mix: almost all
+// traffic is cheap static reads with a sliver of dynamic queries.
+func ReadMostly() Mix {
+	return Mix{Get: 0.95, Range: 0.03, Count: 0.01, Prefix: 0.01}
+}
+
+// ScanHeavy leans on ordered scans, aggregations, and listings — the
+// expensive dynamic-query corner of the matrix.
+func ScanHeavy() Mix {
+	return Mix{Get: 0.30, Range: 0.40, Count: 0.10, Sum: 0.10, Grep: 0.05, Prefix: 0.05}
+}
+
 // Gen generates queries from a mix over the standard content layout.
 type Gen struct {
 	rng      *rand.Rand
-	keys     *Keys
+	keys     KeyDist
 	mix      Mix
 	total    float64
 	nCatalog int
 	nDocs    int
 }
 
-// NewGen creates a generator; nCatalog/nDocs must match BuildContent.
+// NewGen creates a generator with Zipf key popularity; nCatalog/nDocs
+// must match BuildContent.
 func NewGen(rng *rand.Rand, mix Mix, nCatalog, nDocs int) *Gen {
+	return NewGenKeys(rng, NewKeys(rng, nCatalog), mix, nCatalog, nDocs)
+}
+
+// NewGenKeys creates a generator drawing keys from an explicit
+// distribution (the matrix crosses Zipf and uniform popularity over the
+// same mixes).
+func NewGenKeys(rng *rand.Rand, keys KeyDist, mix Mix, nCatalog, nDocs int) *Gen {
 	return &Gen{
 		rng:      rng,
-		keys:     NewKeys(rng, nCatalog),
+		keys:     keys,
 		mix:      mix,
 		total:    mix.Get + mix.Range + mix.Count + mix.Sum + mix.Grep + mix.Prefix,
 		nCatalog: nCatalog,
@@ -200,5 +241,41 @@ func (d Diurnal) NextGap(elapsed time.Duration) time.Duration {
 		rate = 0.01
 	}
 	gap := d.Rng.ExpFloat64() / rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// Bursty is an on/off Poisson process: the first BurstFrac of every
+// Period runs at Peak arrivals/sec, the rest at Base — flash-crowd
+// traffic, the hostile arrival shape for admission pacing and batching.
+type Bursty struct {
+	Base      float64 // arrivals/sec outside the burst
+	Peak      float64 // arrivals/sec during the burst
+	Period    time.Duration
+	BurstFrac float64 // fraction of each period spent at Peak (0..1)
+	Rng       *rand.Rand
+}
+
+// RateAt returns the instantaneous arrival rate at elapsed time t.
+func (b Bursty) RateAt(t time.Duration) float64 {
+	if b.Period <= 0 {
+		return b.Base
+	}
+	frac := math.Mod(float64(t)/float64(b.Period), 1.0)
+	if frac < 0 {
+		frac += 1.0
+	}
+	if frac < b.BurstFrac {
+		return b.Peak
+	}
+	return b.Base
+}
+
+// NextGap implements Arrivals.
+func (b Bursty) NextGap(elapsed time.Duration) time.Duration {
+	rate := b.RateAt(elapsed)
+	if rate <= 0 {
+		rate = 0.01
+	}
+	gap := b.Rng.ExpFloat64() / rate
 	return time.Duration(gap * float64(time.Second))
 }

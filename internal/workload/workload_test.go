@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -140,6 +141,133 @@ func TestDiurnalGapsFollowRate(t *testing.T) {
 	if gapAt(0) < 2*gapAt(30*time.Minute) {
 		t.Fatalf("trough gaps (%v) should be much larger than peak gaps (%v)",
 			gapAt(0), gapAt(30*time.Minute))
+	}
+}
+
+// TestZipfTopKeyMass pins the distribution shape the matrix's "zipf"
+// cells assume: the hottest key carries a large, bounded share of the
+// draws and the head dominates the tail.
+func TestZipfTopKeyMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	k := NewKeys(rng, 96)
+	const n = 20000
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		idx := k.Next()
+		if idx < 0 || idx >= 96 {
+			t.Fatalf("key index %d outside catalog", idx)
+		}
+		counts[idx]++
+	}
+	top := float64(counts[0]) / n
+	if top < 0.15 || top > 0.45 {
+		t.Fatalf("top-key mass = %.3f, want within [0.15, 0.45] for Zipf(1.1)", top)
+	}
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / n; frac < 0.5 {
+		t.Fatalf("top-10 mass = %.3f, want >= 0.5", frac)
+	}
+}
+
+// TestUniformKeysFlat pins the contrast case: no key is hot.
+func TestUniformKeysFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	u := NewUniformKeys(rng, 96)
+	const n = 20000
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		idx := u.Next()
+		if idx < 0 || idx >= 96 {
+			t.Fatalf("key index %d outside catalog", idx)
+		}
+		counts[idx]++
+	}
+	if len(counts) != 96 {
+		t.Fatalf("only %d of 96 keys drawn", len(counts))
+	}
+	for idx, c := range counts {
+		if frac := float64(c) / n; frac > 0.03 {
+			t.Fatalf("uniform key %d carries %.3f of the mass (mean is %.4f)", idx, frac, 1.0/96)
+		}
+	}
+}
+
+// TestMixRatiosHonored checks the matrix's named mixes produce their
+// advertised static/dynamic split over a large sample.
+func TestMixRatiosHonored(t *testing.T) {
+	cases := []struct {
+		name   string
+		mix    Mix
+		lo, hi float64 // static-fraction band
+	}{
+		{"read-mostly", ReadMostly(), 0.92, 0.98},
+		{"scan-heavy", ScanHeavy(), 0.25, 0.35},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(10))
+		g := NewGen(rng, tc.mix, 96, 8)
+		static := 0
+		const n = 10000
+		for i := 0; i < n; i++ {
+			if IsStatic(g.Next()) {
+				static++
+			}
+		}
+		frac := float64(static) / n
+		if frac < tc.lo || frac > tc.hi {
+			t.Errorf("%s: static fraction %.3f outside [%.2f, %.2f]", tc.name, frac, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestGenDeterministicFromSeed: two generators built from equal seeds
+// emit identical query and write streams — the property that makes a
+// matrix cell reproducible.
+func TestGenDeterministicFromSeed(t *testing.T) {
+	build := func() *Gen {
+		rng := rand.New(rand.NewSource(11))
+		return NewGenKeys(rng, NewUniformKeys(rng, 96), ScanHeavy(), 96, 8)
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		qa, qb := a.Next(), b.Next()
+		if fmt.Sprintf("%#v", qa) != fmt.Sprintf("%#v", qb) {
+			t.Fatalf("query %d diverged: %#v vs %#v", i, qa, qb)
+		}
+		wa, wb := a.NextWrite(i), b.NextWrite(i)
+		if fmt.Sprintf("%#v", wa) != fmt.Sprintf("%#v", wb) {
+			t.Fatalf("write %d diverged: %#v vs %#v", i, wa, wb)
+		}
+	}
+}
+
+// TestBurstyShape pins the on/off arrival profile: Peak inside the
+// burst window, Base outside, periodic, and visibly shorter gaps
+// during the burst.
+func TestBurstyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	b := Bursty{Base: 1, Peak: 100, Period: time.Minute, BurstFrac: 0.1, Rng: rng}
+	if got := b.RateAt(3 * time.Second); got != 100 {
+		t.Fatalf("burst rate = %v, want 100", got)
+	}
+	if got := b.RateAt(30 * time.Second); got != 1 {
+		t.Fatalf("off rate = %v, want 1", got)
+	}
+	if got := b.RateAt(time.Minute + 3*time.Second); got != 100 {
+		t.Fatal("burst not periodic")
+	}
+	gapAt := func(t0 time.Duration) time.Duration {
+		var total time.Duration
+		for i := 0; i < 500; i++ {
+			total += b.NextGap(t0)
+		}
+		return total / 500
+	}
+	if burst, off := gapAt(time.Second), gapAt(30*time.Second); off < 20*burst {
+		t.Fatalf("burst gaps (%v) should dwarf off gaps (%v)", burst, off)
 	}
 }
 
